@@ -1,0 +1,274 @@
+// Command replaysim runs the paper's experiments and prints each table
+// and figure of the evaluation section.
+//
+// Usage:
+//
+//	replaysim -experiment fig6 [-insts N] [-workloads a,b,c]
+//
+// Experiments: table1, table2, fig6, fig7, fig8, table3, fig9, fig10,
+// summary (a compact calibration view), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+func main() {
+	experiment := flag.String("experiment", "summary", "which experiment to run")
+	insts := flag.Int("insts", 0, "override the per-trace x86 instruction budget")
+	workloads := flag.String("workloads", "", "comma-separated workload subset")
+	flag.Parse()
+
+	opts := repro.ExpOptions{InstructionBudget: *insts}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var err error
+	switch *experiment {
+	case "table1":
+		table1()
+	case "table2":
+		table2()
+	case "fig6":
+		err = fig6(opts)
+	case "fig7":
+		err = breakdown(opts, true)
+	case "fig8":
+		err = breakdown(opts, false)
+	case "table3":
+		err = table3(opts)
+	case "fig9":
+		err = fig9(opts)
+	case "fig10":
+		err = fig10(opts)
+	case "summary":
+		err = summary(opts)
+	case "all":
+		table1()
+		table2()
+		for _, f := range []func() error{
+			func() error { return fig6(opts) },
+			func() error { return breakdown(opts, true) },
+			func() error { return breakdown(opts, false) },
+			func() error { return table3(opts) },
+			func() error { return fig9(opts) },
+			func() error { return fig10(opts) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replaysim:", err)
+		os.Exit(1)
+	}
+}
+
+func table1() {
+	fmt.Println("== Table 1: Experimental Workload ==")
+	t := stats.NewTable("Name", "Type of App.", "x86 Insts (scaled)", "Traces")
+	for _, w := range repro.Workloads() {
+		t.Row(w.Name, w.Class, w.Insts*w.Traces, w.Traces)
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+}
+
+func table2() {
+	cfg := repro.ProcessorConfig(repro.RPO)
+	fmt.Println("== Table 2: Configuration of Processor ==")
+	t := stats.NewTable("Parameter", "Value")
+	t.Row("Pipeline", fmt.Sprintf("%d-wide fetch/issue/retire", cfg.Width))
+	t.Row("x86 decoders", fmt.Sprintf("%d per cycle", cfg.DecodeWidth))
+	t.Row("BR resolution (min)", fmt.Sprintf("%d cycles", cfg.MinBranchResolve))
+	t.Row("Predictor", fmt.Sprintf("%d-bit gshare", cfg.GshareBits))
+	t.Row("Inst window", fmt.Sprintf("%d micro-ops", cfg.WindowSize))
+	t.Row("Exe units", fmt.Sprintf("%d simple ALU, %d complex ALU, %d FPU, %d LSU",
+		cfg.SimpleALUs, cfg.ComplexALUs, cfg.FPUs, cfg.LSUs))
+	t.Row("Frame/Trace cache", fmt.Sprintf("%dk micro-ops", cfg.FrameCacheUOps/1024))
+	t.Row("L1 DCache", fmt.Sprintf("%dkB, %d cycle hit", cfg.L1DBytes/1024, cfg.L1DLat))
+	t.Row("L2", fmt.Sprintf("%dkB, %d cycle hit", cfg.L2Bytes/1024, cfg.L2Lat))
+	t.Row("Memory", fmt.Sprintf("%d cycles", cfg.MemLat))
+	t.Row("Optimizer", fmt.Sprintf("%d cycles/micro-op, depth %d", cfg.OptCyclesPerUOp, cfg.OptPipeDepth))
+	t.Write(os.Stdout)
+	fmt.Println()
+}
+
+func fig6(opts repro.ExpOptions) error {
+	rows, err := repro.Figure6(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 6: x86 Instructions Retired Per Cycle (IC / TC / RP / RPO) ==")
+	t := stats.NewTable("Workload", "IC", "TC", "RP", "RPO", "RPO vs RP")
+	var gain float64
+	for _, r := range rows {
+		t.Row(r.Workload, r.IPC[0], r.IPC[1], r.IPC[2], r.IPC[3], fmt.Sprintf("%+.0f%%", r.Gain))
+		gain += r.Gain
+	}
+	t.Write(os.Stdout)
+	fmt.Printf("mean IPC increase from optimization: %+.1f%%\n\n", gain/float64(len(rows)))
+
+	fmt.Println("RPO IPC:")
+	for _, r := range rows {
+		stats.Bar(os.Stdout, r.Workload, r.IPC[3], 5.0, 50, "%.2f")
+	}
+	fmt.Println()
+	return nil
+}
+
+func breakdown(opts repro.ExpOptions, spec bool) error {
+	var rows []repro.BreakdownRow
+	var err error
+	if spec {
+		fmt.Println("== Figure 7: Execution cycles by fetch event (SPEC), RP vs RPO ==")
+		rows, err = repro.Figure7(opts)
+	} else {
+		fmt.Println("== Figure 8: Execution cycles by fetch event (desktop), RP vs RPO ==")
+		rows, err = repro.Figure8(opts)
+	}
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Workload", "Cfg", "Cycles", "assert", "mispred", "miss", "stall", "wait", "frame", "icache")
+	var maxCycles float64
+	for _, r := range rows {
+		if c := float64(r.RP.Cycles); c > maxCycles {
+			maxCycles = c
+		}
+	}
+	order := []pipeline.Bin{pipeline.BinAssert, pipeline.BinMispred, pipeline.BinMiss,
+		pipeline.BinStall, pipeline.BinWait, pipeline.BinFrame, pipeline.BinICache}
+	for _, r := range rows {
+		for cfgIdx, s := range []pipeline.Stats{r.RP, r.RPO} {
+			name := "RP"
+			if cfgIdx == 1 {
+				name = "RPO"
+			}
+			cells := []interface{}{r.Workload, name, s.Cycles}
+			for _, b := range order {
+				cells = append(cells, s.Bins[b])
+			}
+			t.Row(cells...)
+		}
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\nstacked composition (a=assert m=mispred M=miss s=stall w=wait F=frame I=icache):")
+	runes := []rune{'a', 'm', 'M', 's', 'w', 'F', 'I'}
+	for _, r := range rows {
+		for cfgIdx, s := range []pipeline.Stats{r.RP, r.RPO} {
+			label := r.Workload + "/RP"
+			if cfgIdx == 1 {
+				label = r.Workload + "/RPO"
+			}
+			segs := make([]float64, len(order))
+			for i, b := range order {
+				segs[i] = float64(s.Bins[b])
+			}
+			stats.StackedBar(os.Stdout, label, segs, runes, maxCycles, 70)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func table3(opts repro.ExpOptions) error {
+	rows, err := repro.Table3Data(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table 3: Micro-ops and LOADs removed by the rePLay optimizer ==")
+	t := stats.NewTable("Application", "Micro-ops Removed", "Loads Removed", "Increase in IPC", "Coverage", "Abort rate")
+	var u, l, i float64
+	for _, r := range rows {
+		t.Row(r.Workload,
+			fmt.Sprintf("%.0f%%", r.UOpsRemoved),
+			fmt.Sprintf("%.0f%%", r.LoadsRemoved),
+			fmt.Sprintf("%.0f%%", r.IPCIncrease),
+			fmt.Sprintf("%.0f%%", 100*r.FrameCoverage),
+			fmt.Sprintf("%.1f%%", 100*r.AssertRate))
+		u += r.UOpsRemoved
+		l += r.LoadsRemoved
+		i += r.IPCIncrease
+	}
+	n := float64(len(rows))
+	t.Row("Average", fmt.Sprintf("%.0f%%", u/n), fmt.Sprintf("%.0f%%", l/n), fmt.Sprintf("%.0f%%", i/n), "", "")
+	t.Write(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func fig9(opts repro.ExpOptions) error {
+	rows, err := repro.Figure9(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 9: % IPC speedup, intra-block vs frame-level optimization ==")
+	t := stats.NewTable("Workload", "Block", "Frame")
+	for _, r := range rows {
+		t.Row(r.Workload, fmt.Sprintf("%+.1f%%", r.Block), fmt.Sprintf("%+.1f%%", r.Frame))
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func fig10(opts repro.ExpOptions) error {
+	rows, err := repro.Figure10(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 10: Relative IPC with individual optimizations disabled ==")
+	fmt.Println("(0 = RP, 1 = RPO with all optimizations)")
+	header := []string{"Workload"}
+	for _, v := range []string{"no ASST", "no CP", "no CSE", "no NOP", "no RA", "no SF"} {
+		header = append(header, v)
+	}
+	header = append(header, "RP IPC", "RPO IPC")
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []interface{}{r.Workload}
+		for _, v := range r.Relative {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		cells = append(cells, r.RPIPC, r.RPOIPC)
+		t.Row(cells...)
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func summary(opts repro.ExpOptions) error {
+	rows, err := repro.Figure6(opts)
+	if err != nil {
+		return err
+	}
+	t3, err := repro.Table3Data(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Summary (calibration view) ==")
+	t := stats.NewTable("Workload", "IC", "TC", "RP", "RPO", "dIPC", "uops-", "loads-", "cover", "abort")
+	for i, r := range rows {
+		t.Row(r.Workload, r.IPC[0], r.IPC[1], r.IPC[2], r.IPC[3],
+			fmt.Sprintf("%+.0f%%", r.Gain),
+			fmt.Sprintf("%.0f%%", t3[i].UOpsRemoved),
+			fmt.Sprintf("%.0f%%", t3[i].LoadsRemoved),
+			fmt.Sprintf("%.0f%%", 100*t3[i].FrameCoverage),
+			fmt.Sprintf("%.1f%%", 100*t3[i].AssertRate))
+	}
+	t.Write(os.Stdout)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command tracegen generates, saves, loads, and summarizes workload
+// traces — the reproduction's stand-in for the paper's hardware-captured
+// x86 trace files.
+//
+// Usage:
+//
+//	tracegen -workload bzip2 [-trace 0] [-insts N] [-o file]   generate
+//	tracegen -stat file                                        summarize
+//	tracegen -list                                             list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload profile to capture")
+	traceIdx := flag.Int("trace", 0, "hot-spot trace index")
+	insts := flag.Int("insts", 0, "x86 instruction budget (default: profile budget)")
+	out := flag.String("o", "", "write the captured trace to this file")
+	stat := flag.String("stat", "", "summarize an existing trace file")
+	list := flag.Bool("list", false, "list the workload set (Table 1)")
+	flag.Parse()
+
+	if err := run(*name, *traceIdx, *insts, *out, *stat, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, traceIdx, insts int, out, stat string, list bool) error {
+	switch {
+	case list:
+		t := stats.NewTable("Name", "Class", "Traces", "Insts/trace")
+		for _, p := range workload.Profiles {
+			t.Row(p.Name, p.Class, p.Traces, p.XInsts)
+		}
+		t.Write(os.Stdout)
+		return nil
+
+	case stat != "":
+		f, err := os.Open(stat)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		printStats(tr)
+		return nil
+
+	case name != "":
+		p, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		if insts == 0 {
+			insts = p.XInsts
+		}
+		prog, err := workload.Generate(p, traceIdx)
+		if err != nil {
+			return err
+		}
+		tr, err := prog.Capture(insts)
+		if err != nil {
+			return err
+		}
+		printStats(tr)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := tr.Write(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		return nil
+	}
+	return fmt.Errorf("nothing to do; see -h")
+}
+
+func printStats(tr *trace.Trace) {
+	s := tr.ComputeStats()
+	fmt.Printf("trace %s: code %d bytes at %#x\n", tr.Name, len(tr.Code), tr.CodeBase)
+	t := stats.NewTable("Metric", "Value", "Per kinst")
+	per := func(n int) string { return fmt.Sprintf("%.1f", 1000*float64(n)/float64(s.Insts)) }
+	t.Row("x86 instructions", s.Insts, "")
+	t.Row("loads", s.Loads, per(s.Loads))
+	t.Row("stores", s.Stores, per(s.Stores))
+	t.Row("taken transfers", s.Branches, per(s.Branches))
+	t.Write(os.Stdout)
+}

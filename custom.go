@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// WorkloadSpec defines a custom synthetic workload: a program generator
+// profile in the same parameter space as the built-in Table 1 set. Zero
+// values get sensible defaults.
+type WorkloadSpec struct {
+	Name string
+	Seed int64
+
+	Insts  int // x86 instruction budget (default 100k)
+	Traces int // hot-spot trace count (default 1)
+
+	Funcs     int // hot functions (default 6)
+	BodyStmts int // statements per loop body (default 12)
+	LoopTrip  int // inner loop trip count (default 100)
+
+	// Stream-shape knobs, all in [0,1] unless noted. See the DESIGN.md
+	// substitution table for what each knob reproduces.
+	LoadRedundancy float64 // spill/reload + repeated-load density
+	ALURedundancy  float64 // recomputed-expression density
+	ChainLen       int     // dependence chain length (default 2)
+	BranchBias     float64 // biased-branch taken probability (default 0.995)
+	HardBranches   float64 // near-50/50 branch density
+	AliasRate      float64 // pointer stores aliasing stack locals
+	LeafCalls      float64 // leaf procedure call density
+	IndirectCalls  float64 // indirect call density
+	WorkingSet     int     // global data bytes (default 64kB)
+}
+
+func (w WorkloadSpec) profile() workload.Profile {
+	p := workload.Profile{
+		Name:          w.Name,
+		Class:         "Custom",
+		Seed:          w.Seed,
+		XInsts:        w.Insts,
+		Traces:        w.Traces,
+		Funcs:         w.Funcs,
+		BodyStmts:     w.BodyStmts,
+		LoopTrip:      w.LoopTrip,
+		RedLoads:      w.LoadRedundancy,
+		RedALU:        w.ALURedundancy,
+		ChainLen:      w.ChainLen,
+		InnerBias:     w.BranchBias,
+		HardBranches:  w.HardBranches,
+		AliasRate:     w.AliasRate,
+		LeafCalls:     w.LeafCalls,
+		IndirectCalls: w.IndirectCalls,
+		WorkingSet:    w.WorkingSet,
+	}
+	if p.Name == "" {
+		p.Name = "custom"
+	}
+	if p.XInsts == 0 {
+		p.XInsts = 100_000
+	}
+	if p.Traces == 0 {
+		p.Traces = 1
+	}
+	if p.Funcs == 0 {
+		p.Funcs = 6
+	}
+	if p.BodyStmts == 0 {
+		p.BodyStmts = 12
+	}
+	if p.LoopTrip == 0 {
+		p.LoopTrip = 100
+	}
+	if p.ChainLen == 0 {
+		p.ChainLen = 2
+	}
+	if p.InnerBias == 0 {
+		p.InnerBias = 0.995
+	}
+	if p.WorkingSet == 0 {
+		p.WorkingSet = 64 << 10
+	}
+	return p
+}
+
+// RunCustom simulates a custom workload under the given configuration.
+func RunCustom(spec WorkloadSpec, mode Mode, options ...Option) (Result, error) {
+	var rc runConfig
+	for _, o := range options {
+		o(&rc)
+	}
+	r, err := sim.RunWorkload(spec.profile(), mode, rc.opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultOf(r), nil
+}

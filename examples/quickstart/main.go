@@ -1,0 +1,38 @@
+// Quickstart: run one workload under basic rePLay (RP) and optimizing
+// rePLay (RPO) and report what the micro-operation optimizer bought —
+// the paper's headline comparison on a single application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const workload = "bzip2"
+
+	rp, err := repro.Run(workload, repro.RP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rpo, err := repro.Run(workload, repro.RPO)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n\n", workload)
+	fmt.Printf("  rePLay (no optimization):   %.2f x86 IPC\n", rp.IPC)
+	fmt.Printf("  rePLay + optimizer:         %.2f x86 IPC  (%+.0f%%)\n\n",
+		rpo.IPC, 100*(rpo.IPC-rp.IPC)/rp.IPC)
+	fmt.Printf("  micro-ops removed:  %.0f%%\n", 100*rpo.UOpReduction)
+	fmt.Printf("  loads removed:      %.0f%%\n", 100*rpo.LoadReduction)
+	fmt.Printf("  frame coverage:     %.0f%%\n", 100*rpo.FrameCoverage)
+	fmt.Printf("  assert/abort rate:  %.1f%% of frame fetches\n", 100*rpo.AssertRate)
+
+	fmt.Println("\ncycle breakdown (RPO):")
+	for _, bin := range []string{"assert", "mispred", "miss", "stall", "wait", "frame", "icache"} {
+		fmt.Printf("  %-8s %8d\n", bin, rpo.CycleBins[bin])
+	}
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Experiment row types, re-exported from the driver.
+type (
+	// Fig6Row is one application's IPC under IC/TC/RP/RPO (Figure 6).
+	Fig6Row = sim.Fig6Row
+	// BreakdownRow is one application's RP/RPO cycle breakdown (Figs 7-8).
+	BreakdownRow = sim.BreakdownRow
+	// Table3Row is one application's optimizer-removal row (Table 3).
+	Table3Row = sim.Table3Row
+	// Fig9Row compares block- and frame-scope optimization (Figure 9).
+	Fig9Row = sim.Fig9Row
+	// Fig10Row is the leave-one-out optimization ablation (Figure 10).
+	Fig10Row = sim.Fig10Row
+)
+
+// ExpOptions configures an experiment sweep.
+type ExpOptions struct {
+	// Workloads restricts the sweep (nil = all 14 applications).
+	Workloads []string
+	// InstructionBudget overrides each profile's per-trace budget.
+	InstructionBudget int
+}
+
+func (o ExpOptions) profiles() ([]workload.Profile, error) {
+	if o.Workloads == nil {
+		return workload.Profiles, nil
+	}
+	var ps []workload.Profile
+	for _, n := range o.Workloads {
+		p, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+func (o ExpOptions) simOptions() sim.Options {
+	return sim.Options{MaxInsts: o.InstructionBudget}
+}
+
+// Figure6 regenerates Figure 6: x86 IPC under the four configurations.
+func Figure6(o ExpOptions) ([]Fig6Row, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Fig6(ps, o.simOptions())
+}
+
+// Figure7 regenerates Figure 7: the per-SPEC-benchmark cycle breakdown.
+func Figure7(o ExpOptions) ([]BreakdownRow, error) {
+	if o.Workloads == nil {
+		o.Workloads = ByClass("SPECint")
+	}
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.CycleBreakdown(ps, o.simOptions())
+}
+
+// Figure8 regenerates Figure 8: the desktop-application cycle breakdown.
+func Figure8(o ExpOptions) ([]BreakdownRow, error) {
+	if o.Workloads == nil {
+		var names []string
+		names = append(names, ByClass("Business")...)
+		names = append(names, ByClass("Content")...)
+		o.Workloads = names
+	}
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.CycleBreakdown(ps, o.simOptions())
+}
+
+// Table3Data regenerates Table 3: micro-ops and loads removed, and the
+// IPC increase.
+func Table3Data(o ExpOptions) ([]Table3Row, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Table3(ps, o.simOptions())
+}
+
+// Figure9 regenerates Figure 9: intra-block versus frame-level
+// optimization.
+func Figure9(o ExpOptions) ([]Fig9Row, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Fig9(ps, o.simOptions())
+}
+
+// Figure10 regenerates Figure 10: performance with each optimization
+// individually disabled, on the paper's five-application subset.
+func Figure10(o ExpOptions) ([]Fig10Row, error) {
+	return sim.Fig10(o.simOptions())
+}

@@ -1,0 +1,88 @@
+// Package cache implements the memory-side timing structures of the
+// Table 2 configuration: generic set-associative caches with LRU
+// replacement (instruction cache, L1 data cache, L2), plus the
+// micro-op-capacity frame cache and trace cache.
+package cache
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// hit/miss behaviour only (contents are tags, not data).
+type Cache struct {
+	lineShift uint
+	setMask   uint32
+	ways      int
+	tags      [][]uint32
+	valid     [][]bool
+	lruSeq    [][]uint64
+	clock     uint64
+
+	// Accesses/Misses count lookups.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New returns a cache of the given total size, line size and
+// associativity. Sizes must be powers of two.
+func New(sizeBytes, lineBytes, ways int) *Cache {
+	sets := sizeBytes / lineBytes / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{ways: ways, setMask: uint32(sets - 1)}
+	for lineBytes > 1 {
+		lineBytes >>= 1
+		c.lineShift++
+	}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.lruSeq = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lruSeq[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Access looks up addr, filling the line on a miss. Returns true on hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.clock++
+	c.Accesses++
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	tag := line
+	ways := c.tags[set]
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && ways[w] == tag {
+			c.lruSeq[set][w] = c.clock
+			return true
+		}
+	}
+	c.Misses++
+	// Fill the LRU way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lruSeq[set][w] < c.lruSeq[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lruSeq[set][victim] = c.clock
+	return false
+}
+
+// Contains reports whether addr currently hits without updating state.
+func (c *Cache) Contains(addr uint32) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == line {
+			return true
+		}
+	}
+	return false
+}

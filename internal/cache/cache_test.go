@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := New(1024, 64, 2) // 8 sets x 2 ways
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("warm access missed")
+	}
+	if !c.Access(0x103F) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line hit")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := New(128, 64, 2) // 1 set, 2 ways
+	c.Access(0x0000)     // A
+	c.Access(0x1000)     // B
+	c.Access(0x0000)     // touch A
+	c.Access(0x2000)     // C evicts B (LRU)
+	if !c.Contains(0x0000) {
+		t.Error("A evicted")
+	}
+	if c.Contains(0x1000) {
+		t.Error("B not evicted")
+	}
+	if !c.Contains(0x2000) {
+		t.Error("C missing")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := New(256, 64, 1)
+	c.Access(0)
+	c.Access(0)
+	c.Access(64)
+	if c.Accesses != 3 || c.Misses != 2 {
+		t.Errorf("accesses=%d misses=%d", c.Accesses, c.Misses)
+	}
+}
+
+// TestCacheNeverExceedsWays: property — a direct-mapped cache holds at
+// most one line per set; conflicting lines evict each other.
+func TestCacheConflict(t *testing.T) {
+	c := New(256, 64, 1) // 4 sets
+	f := func(a, b uint8) bool {
+		addr1 := uint32(a) << 6
+		addr2 := addr1 + 4*256 // same set, different tag
+		_ = b
+		c.Access(addr1)
+		c.Access(addr2)
+		return !c.Contains(addr1) && c.Contains(addr2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUOpCacheInsertLookup(t *testing.T) {
+	c := NewUOpCache[string](100)
+	if !c.Insert(0x1000, 40, "a") {
+		t.Fatal("insert failed")
+	}
+	v, ok := c.Lookup(0x1000)
+	if !ok || v != "a" {
+		t.Fatalf("lookup = %q, %v", v, ok)
+	}
+	if _, ok := c.Lookup(0x2000); ok {
+		t.Error("phantom hit")
+	}
+}
+
+func TestUOpCacheCapacityEviction(t *testing.T) {
+	c := NewUOpCache[int](100)
+	c.Insert(1, 40, 1)
+	c.Insert(2, 40, 2)
+	c.Lookup(1)        // promote 1
+	c.Insert(3, 40, 3) // must evict 2
+	if c.Used() > 100 {
+		t.Errorf("over capacity: %d", c.Used())
+	}
+	if c.Contains(2) {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("wrong eviction victim")
+	}
+}
+
+func TestUOpCacheReplaceSamePC(t *testing.T) {
+	c := NewUOpCache[int](100)
+	c.Insert(1, 60, 1)
+	c.Insert(1, 30, 2)
+	if c.Used() != 30 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	v, _ := c.Lookup(1)
+	if v != 2 {
+		t.Errorf("value = %d", v)
+	}
+}
+
+func TestUOpCacheOversized(t *testing.T) {
+	c := NewUOpCache[int](100)
+	if c.Insert(1, 200, 1) {
+		t.Error("oversized insert accepted")
+	}
+}
+
+func TestUOpCacheInvalidate(t *testing.T) {
+	c := NewUOpCache[int](100)
+	c.Insert(1, 50, 1)
+	c.Invalidate(1)
+	if c.Contains(1) || c.Used() != 0 {
+		t.Error("invalidate failed")
+	}
+	c.Invalidate(99) // no-op
+}
+
+// TestUOpCachePropertyOccupancy: occupancy never exceeds capacity under
+// random insert/invalidate sequences.
+func TestUOpCachePropertyOccupancy(t *testing.T) {
+	c := NewUOpCache[int](500)
+	f := func(pc uint16, size uint8) bool {
+		if size == 0 {
+			c.Invalidate(uint32(pc))
+			return c.Used() >= 0
+		}
+		c.Insert(uint32(pc), int(size), int(pc))
+		return c.Used() <= 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// assemble encodes a program and loads it at base, returning a ready CPU.
+func assemble(t *testing.T, base uint32, prog []x86.Inst) *CPU {
+	t.Helper()
+	mem := NewMemory()
+	addr := base
+	for _, in := range prog {
+		enc, err := x86.Encode(in)
+		if err != nil {
+			t.Fatalf("encode %s: %v", in, err)
+		}
+		mem.WriteBytes(addr, enc)
+		addr += uint32(len(enc))
+	}
+	c := New(mem)
+	c.PC = base
+	c.Regs[x86.ESP] = 0x0010_0000
+	return c
+}
+
+func run(t *testing.T, c *CPU, limit int) {
+	t.Helper()
+	if _, err := c.Run(limit); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	m := NewMemory()
+	if m.Load32(0x1234) != 0 {
+		t.Error("untouched memory not zero")
+	}
+	m.Store32(0x1000, 0xDEADBEEF)
+	if m.Load32(0x1000) != 0xDEADBEEF {
+		t.Error("store/load mismatch")
+	}
+	if m.LoadByte(0x1000) != 0xEF || m.LoadByte(0x1003) != 0xDE {
+		t.Error("little-endian layout wrong")
+	}
+	// Page-crossing word.
+	m.Store32(0x1FFE, 0x11223344)
+	if m.Load32(0x1FFE) != 0x11223344 {
+		t.Error("page-crossing access wrong")
+	}
+	// Unaligned.
+	m.Store32(0x2001, 0xA5A5A5A5)
+	if m.Load32(0x2001) != 0xA5A5A5A5 {
+		t.Error("unaligned access wrong")
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(10)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX), Src: x86.ImmOp(32)},
+		{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Regs[x86.EAX] != 42 {
+		t.Errorf("EAX = %d, want 42", c.Regs[x86.EAX])
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(0x111)},
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX)},
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.ImmOp(0x222)},
+		{Op: x86.OpPOP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)},
+		{Op: x86.OpPOP, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	sp0 := c.Regs[x86.ESP]
+	run(t, c, 100)
+	if c.Regs[x86.EBX] != 0x222 || c.Regs[x86.ECX] != 0x111 {
+		t.Errorf("popped %#x, %#x", c.Regs[x86.EBX], c.Regs[x86.ECX])
+	}
+	if c.Regs[x86.ESP] != sp0 {
+		t.Errorf("ESP not balanced: %#x vs %#x", c.Regs[x86.ESP], sp0)
+	}
+}
+
+// TestLoop runs a counted loop and checks both the result and the branch
+// records.
+func TestLoop(t *testing.T) {
+	// ECX = 5; EAX = 0; loop: ADD EAX, ECX; DEC ECX; JNZ loop; HLT
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX), Src: x86.ImmOp(5)},
+		{Op: x86.OpXOR, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EAX)},
+		{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.ECX)}, // loop head at 0x1000+5+2
+		{Op: x86.OpDEC, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX)},
+		{Op: x86.OpJCC, Cond: x86.CondNE, Dst: x86.ImmOp(-6)}, // back to ADD (2+1+2 bytes... computed below)
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	// Fix the backward displacement: ADD(2) + DEC(1) + JCC(2) = 5 bytes back
+	// from the end of JCC. The ImmOp(-6) above was a guess; re-assemble with
+	// the exact value.
+	c = assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX), Src: x86.ImmOp(5)},
+		{Op: x86.OpXOR, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EAX)},
+		{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.ECX)},
+		{Op: x86.OpDEC, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX)},
+		{Op: x86.OpJCC, Cond: x86.CondNE, Dst: x86.ImmOp(-5)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	recs, err := c.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[x86.EAX] != 5+4+3+2+1 {
+		t.Errorf("EAX = %d, want 15", c.Regs[x86.EAX])
+	}
+	taken := 0
+	for _, r := range recs {
+		if r.Taken() {
+			taken++
+		}
+	}
+	if taken != 4 { // JNZ taken 4 times, falls through once
+		t.Errorf("taken branches = %d, want 4", taken)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// main: PUSH 7; CALL f; ADD ESP,4; HLT
+	// f:    PUSH EBP; MOV EBP,ESP; MOV EAX,[EBP+8]; ADD EAX,1; POP EBP; RET
+	main := []x86.Inst{
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.ImmOp(7)},
+		{Op: x86.OpCALL, Cond: x86.CondNone, Dst: x86.ImmOp(0)}, // patched below
+		{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.ESP), Src: x86.ImmOp(4)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	}
+	fn := []x86.Inst{
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP), Src: x86.RegOp(x86.ESP)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.Mem(x86.EBP, 8)},
+		{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)},
+		{Op: x86.OpPOP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP)},
+		{Op: x86.OpRET, Cond: x86.CondNone},
+	}
+	// Lay out main at 0x1000, fn right after; compute CALL displacement.
+	mainLen := 0
+	for _, in := range main {
+		enc, _ := x86.Encode(in)
+		mainLen += len(enc)
+	}
+	// CALL is the second instruction: PUSH imm8 (2 bytes) + CALL (5 bytes).
+	callEnd := uint32(0x1000 + 2 + 5)
+	fnStart := uint32(0x1000 + mainLen)
+	main[1].Dst = x86.ImmOp(int32(fnStart - callEnd))
+	c := assemble(t, 0x1000, append(main, fn...))
+	run(t, c, 100)
+	if c.Regs[x86.EAX] != 8 {
+		t.Errorf("EAX = %d, want 8", c.Regs[x86.EAX])
+	}
+}
+
+func TestRecordContents(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(0x55)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -8), Src: x86.RegOp(x86.EAX)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX), Src: x86.Mem(x86.ESP, -8)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	sp := c.Regs[x86.ESP]
+	recs, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Record 0: EAX changed to 0x55, no memops.
+	found := false
+	recs[0].ChangedRegs(func(reg uint8, val uint32) {
+		if reg == uint8(x86.EAX) && val == 0x55 {
+			found = true
+		}
+	})
+	if !found || len(recs[0].MemOps) != 0 {
+		t.Errorf("record 0 wrong: %+v", recs[0])
+	}
+	// Record 1: store of 0x55 at ESP-8.
+	if len(recs[1].MemOps) != 1 || !recs[1].MemOps[0].IsStore ||
+		recs[1].MemOps[0].Addr != sp-8 || recs[1].MemOps[0].Data != 0x55 {
+		t.Errorf("record 1 memops wrong: %+v", recs[1].MemOps)
+	}
+	// Record 2: load of the same value.
+	if len(recs[2].MemOps) != 1 || recs[2].MemOps[0].IsStore ||
+		recs[2].MemOps[0].Data != 0x55 {
+		t.Errorf("record 2 memops wrong: %+v", recs[2].MemOps)
+	}
+	if c.Regs[x86.EBX] != 0x55 {
+		t.Errorf("EBX = %#x", c.Regs[x86.EBX])
+	}
+}
+
+func TestFlagBehaviour(t *testing.T) {
+	// INC must preserve CF; CMP sets borrow.
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)},
+		{Op: x86.OpCMP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(2)}, // sets CF
+		{Op: x86.OpINC, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX)},                    // must keep CF
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Flags&x86.FlagC == 0 {
+		t.Error("INC clobbered CF")
+	}
+	if c.Regs[x86.EAX] != 2 {
+		t.Errorf("EAX = %d", c.Regs[x86.EAX])
+	}
+}
+
+func TestDivIdiom(t *testing.T) {
+	// The compiler idiom: XOR EDX,EDX; DIV EBX and CDQ; IDIV EBX.
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(17)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX), Src: x86.ImmOp(5)},
+		{Op: x86.OpXOR, Cond: x86.CondNone, Dst: x86.RegOp(x86.EDX), Src: x86.RegOp(x86.EDX)},
+		{Op: x86.OpDIV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Regs[x86.EAX] != 3 || c.Regs[x86.EDX] != 2 {
+		t.Errorf("DIV: q=%d r=%d, want 3,2", c.Regs[x86.EAX], c.Regs[x86.EDX])
+	}
+	c = assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(-17)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX), Src: x86.ImmOp(5)},
+		{Op: x86.OpCDQ, Cond: x86.CondNone},
+		{Op: x86.OpIDIV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if int32(c.Regs[x86.EAX]) != -3 || int32(c.Regs[x86.EDX]) != -2 {
+		t.Errorf("IDIV: q=%d r=%d, want -3,-2", int32(c.Regs[x86.EAX]), int32(c.Regs[x86.EDX]))
+	}
+	if c.Regs[x86.EDX+0]&0 != 0 {
+		t.Error("unreachable")
+	}
+}
+
+func TestLeave(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP), Src: x86.RegOp(x86.ESP)},
+		{Op: x86.OpSUB, Cond: x86.CondNone, Dst: x86.RegOp(x86.ESP), Src: x86.ImmOp(0x20)},
+		{Op: x86.OpLEAVE, Cond: x86.CondNone},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	c.Regs[x86.EBP] = 0xABCD
+	sp0 := c.Regs[x86.ESP]
+	run(t, c, 100)
+	if c.Regs[x86.EBP] != 0xABCD {
+		t.Errorf("EBP not restored: %#x", c.Regs[x86.EBP])
+	}
+	if c.Regs[x86.ESP] != sp0 {
+		t.Errorf("ESP not restored: %#x vs %#x", c.Regs[x86.ESP], sp0)
+	}
+}
+
+func TestHaltedStep(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{{Op: x86.OpHLT, Cond: x86.CondNone}})
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(); err != ErrHalted {
+		t.Errorf("second step after HLT: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+func TestShiftByCL(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX), Src: x86.ImmOp(36)}, // masked to 4
+		{Op: x86.OpSHL, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.ECX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Regs[x86.EAX] != 16 {
+		t.Errorf("SHL by CL=36 (masked 4): %d, want 16", c.Regs[x86.EAX])
+	}
+}
+
+func TestCMOV(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX), Src: x86.ImmOp(99)},
+		{Op: x86.OpCMP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)},
+		{Op: x86.OpCMOV, Cond: x86.CondE, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)},
+		{Op: x86.OpCMOV, Cond: x86.CondNE, Dst: x86.RegOp(x86.EBX), Src: x86.RegOp(x86.EAX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Regs[x86.EAX] != 99 {
+		t.Errorf("taken CMOV: EAX = %d, want 99", c.Regs[x86.EAX])
+	}
+	if c.Regs[x86.EBX] != 99 {
+		t.Errorf("not-taken CMOV clobbered EBX: %d", c.Regs[x86.EBX])
+	}
+}
+
+func TestXCHGMem(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(0x11)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -8), Src: x86.ImmOp(0x22)},
+		{Op: x86.OpXCHG, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -8), Src: x86.RegOp(x86.EAX)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	sp := c.Regs[x86.ESP]
+	run(t, c, 100)
+	if c.Regs[x86.EAX] != 0x22 {
+		t.Errorf("EAX = %#x, want 0x22", c.Regs[x86.EAX])
+	}
+	if got := c.Mem.Load32(sp - 8); got != 0x11 {
+		t.Errorf("mem = %#x, want 0x11", got)
+	}
+}
+
+func TestIMULForms(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(-3)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX), Src: x86.ImmOp(5)},
+		{Op: x86.OpIMUL, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)}, // EDX:EAX = EAX*EBX
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if int32(c.Regs[x86.EAX]) != -15 || int32(c.Regs[x86.EDX]) != -1 {
+		t.Errorf("one-op IMUL: EAX=%d EDX=%d", int32(c.Regs[x86.EAX]), int32(c.Regs[x86.EDX]))
+	}
+	c = assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX), Src: x86.ImmOp(6)},
+		{Op: x86.OpIMUL, Cond: x86.CondNone, Dst: x86.RegOp(x86.EDX), Src: x86.RegOp(x86.ECX), Imm3: 7},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Regs[x86.EDX] != 42 {
+		t.Errorf("three-op IMUL: %d, want 42", c.Regs[x86.EDX])
+	}
+}
+
+func TestIndirectJmpAndCall(t *testing.T) {
+	// MOV EAX, target; JMP EAX — target holds HLT.
+	target := uint32(0x1000 + 5 + 2 + 1) // MOV(5) + JMP(2) + INC(1)
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(int32(target))},
+		{Op: x86.OpJMP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX)},
+		{Op: x86.OpINC, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)}, // skipped
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	run(t, c, 100)
+	if c.Regs[x86.EBX] != 0 {
+		t.Error("indirect JMP fell through")
+	}
+}
+
+func TestRetImm(t *testing.T) {
+	// Simulate CALL by hand: push return addr, then RET 8 pops and drops
+	// two argument words.
+	// Layout: three imm32 pushes (5 bytes each) + RET imm16 (3 bytes)
+	// put the HLT at 0x1000+18; the pushed return address targets it.
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.ImmOp(0x111)},       // arg2
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.ImmOp(0x222)},       // arg1
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.ImmOp(0x1000 + 18)}, // return address
+		{Op: x86.OpRET, Cond: x86.CondNone, Dst: x86.ImmOp(8)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	sp0 := c.Regs[x86.ESP]
+	run(t, c, 100)
+	if c.Regs[x86.ESP] != sp0 {
+		t.Errorf("RET 8 did not rebalance: ESP %#x vs %#x", c.Regs[x86.ESP], sp0)
+	}
+}
+
+func TestNegNotMem(t *testing.T) {
+	c := assemble(t, 0x1000, []x86.Inst{
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -4), Src: x86.ImmOp(5)},
+		{Op: x86.OpNEG, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -4)},
+		{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -8), Src: x86.ImmOp(0)},
+		{Op: x86.OpNOT, Cond: x86.CondNone, Dst: x86.Mem(x86.ESP, -8)},
+		{Op: x86.OpHLT, Cond: x86.CondNone},
+	})
+	sp := c.Regs[x86.ESP]
+	run(t, c, 100)
+	if got := int32(c.Mem.Load32(sp - 4)); got != -5 {
+		t.Errorf("NEG mem = %d", got)
+	}
+	if got := c.Mem.Load32(sp - 8); got != 0xFFFFFFFF {
+		t.Errorf("NOT mem = %#x", got)
+	}
+}

@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+	"repro/internal/x86"
+)
+
+// ReadMemory is the read-only memory view a frame executes against.
+// Frame stores are buffered (frames are atomic) and only returned for
+// commit; they never touch the underlying memory.
+type ReadMemory interface {
+	Load32(addr uint32) uint32
+}
+
+// MemWrite is one buffered store of a frame execution, in program order.
+type MemWrite struct {
+	Addr uint32
+	Val  uint32
+}
+
+// ExecResult reports a functional frame execution.
+type ExecResult struct {
+	// Aborted is set when an assertion fired or an unsafe store
+	// conflicted; AbortPos is the buffer index responsible and
+	// UnsafeConflict distinguishes the cause.
+	Aborted        bool
+	AbortPos       int
+	UnsafeConflict bool
+
+	// Committed state (meaningful only when !Aborted).
+	Regs   uop.Regs   // final architectural register state
+	Stores []MemWrite // stores in program order
+	Loads  int        // loads actually performed
+}
+
+// overlayMem layers the frame's buffered stores over the backing memory
+// so later loads observe earlier in-frame stores without mutating it.
+type overlayMem struct {
+	base    ReadMemory
+	written map[uint32]uint32
+}
+
+func (m *overlayMem) Load32(addr uint32) uint32 {
+	if v, ok := m.written[addr]; ok {
+		return v
+	}
+	return m.base.Load32(addr)
+}
+
+func (m *overlayMem) Store32(addr uint32, v uint32) { m.written[addr] = v }
+
+// scratch register assignments used to funnel FrameOps through uop.Eval.
+const (
+	scrA = uop.Reg(0)
+	scrB = uop.Reg(1)
+	scrD = uop.Reg(2)
+)
+
+// Execute functionally evaluates the frame against an entry register
+// state and memory — the dataflow semantics of the renamed form: each op
+// reads its sources by reference, and "physical register m" is the value
+// produced at buffer index m. Used by the state verifier and the frame
+// tests.
+func Execute(of *OptFrame, entry *uop.Regs, mem ReadMemory) (ExecResult, error) {
+	n := len(of.Ops)
+	values := make([]uint32, n)
+	flags := make([]x86.Flags, n)
+	res := ExecResult{}
+
+	ov := &overlayMem{base: mem, written: make(map[uint32]uint32)}
+
+	storeAddrs := make(map[int32]uint32)
+
+	resolve := func(r Ref) uint32 {
+		switch r.Kind {
+		case RefLiveIn:
+			return entry.Get(r.Arch)
+		case RefOp:
+			return values[r.Idx]
+		}
+		return 0
+	}
+	resolveF := func(r Ref) x86.Flags {
+		switch r.Kind {
+		case RefLiveIn:
+			return entry.Flags()
+		case RefOp:
+			return flags[r.Idx]
+		}
+		return 0
+	}
+
+	execOne := func(i int, o *FrameOp) (bool, error) {
+		var regs uop.Regs
+		u := uop.UOp{
+			Op: o.Op, Cond: o.Cond, Dest: scrD,
+			SrcA: uop.RegNone, SrcB: uop.RegNone,
+			Imm: o.Imm, Scale: o.Scale,
+			WritesFlags: o.WritesFlags, KeepCF: o.KeepCF,
+		}
+		if o.SrcA.Kind != RefNone {
+			u.SrcA = scrA
+			regs.Set(scrA, resolve(o.SrcA))
+		}
+		if o.SrcB.Kind != RefNone {
+			u.SrcB = scrB
+			regs.Set(scrB, resolve(o.SrcB))
+		}
+		if o.SrcF.Kind != RefNone {
+			regs.SetFlags(resolveF(o.SrcF))
+		}
+		// Memory ops use scrA as the base even when absolute (SrcA RefNone
+		// resolves to zero and the immediate carries the address), matching
+		// uop.Eval's addressing.
+		out, err := uop.Eval(u, &regs, ov)
+		if err != nil {
+			return false, fmt.Errorf("opt: execute frame %#x op %d (%s): %w", of.StartPC, i, o.Op, err)
+		}
+		if out.AssertFired {
+			res.Aborted, res.AbortPos = true, i
+			return true, nil
+		}
+		if out.IsMem {
+			if out.IsStore {
+				if o.Unsafe {
+					storeAddrs[int32(i)] = out.MemAddr
+				}
+				res.Stores = append(res.Stores, MemWrite{Addr: out.MemAddr, Val: out.StoreVal})
+			} else {
+				res.Loads++
+			}
+		}
+		values[i] = regs.Get(scrD)
+		if o.WritesFlags {
+			flags[i] = regs.Flags()
+		}
+		return false, nil
+	}
+	var stop bool
+	var execErr error
+	of.Iterate(func(idx int32, o *FrameOp) {
+		if stop || execErr != nil {
+			return
+		}
+		stop, execErr = execOne(int(idx), o)
+	})
+	if execErr != nil {
+		return res, execErr
+	}
+	if res.Aborted {
+		return res, nil
+	}
+
+	// Unsafe-store conflict check: each speculated-across store must not
+	// have touched the word its guarded (eliminated) load would have read.
+	for _, g := range of.UnsafeGuards {
+		sa, ok := storeAddrs[g.Store]
+		if !ok {
+			continue
+		}
+		addr := resolve(g.Base) + uint32(g.Imm)
+		if g.Index.Kind != RefNone {
+			addr += resolve(g.Index) * uint32(g.Scale)
+		}
+		d := int64(sa) - int64(addr)
+		if d < 0 {
+			d = -d
+		}
+		if d < 4 {
+			res.Aborted, res.AbortPos, res.UnsafeConflict = true, int(g.Store), true
+			return res, nil
+		}
+	}
+
+	// Commit: the frame-end producers recorded by Remap deliver the final
+	// architectural state. A removed final producer was an identity move,
+	// so the entry value stands.
+	res.Regs = *entry
+	for r := 0; r < 8; r++ {
+		if ref := of.Final[r]; ref.Kind == RefOp && of.Ops[ref.Idx].Valid {
+			res.Regs.Set(uop.Reg(r), values[ref.Idx])
+		}
+	}
+	if ref := of.FinalFlags; ref.Kind == RefOp && of.Ops[ref.Idx].Valid {
+		res.Regs.SetFlags(flags[ref.Idx])
+	}
+	return res, nil
+}

@@ -1,0 +1,342 @@
+// Package opt implements the rePLay optimization engine (Sections 3-4):
+// the Remapper that renders frames into explicitly renamed form (every
+// micro-op's destination is its buffer index), dependency traversal, the
+// seven optimization passes, and the functional frame executor used by
+// the state verifier.
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/uop"
+	"repro/internal/x86"
+)
+
+// RefKind distinguishes micro-op operand sources in renamed form.
+type RefKind uint8
+
+// Operand source kinds.
+const (
+	// RefNone marks an absent operand (the immediate substitutes for an
+	// absent SrcB; an absent memory base means absolute addressing).
+	RefNone RefKind = iota
+	// RefLiveIn names an architectural register live into the frame.
+	RefLiveIn
+	// RefOp names the micro-op at index Idx as the producer.
+	RefOp
+)
+
+// Ref is a renamed operand source: nothing, a live-in architectural
+// register, or the output of an earlier micro-op in the frame buffer.
+type Ref struct {
+	Kind RefKind
+	Arch uop.Reg // for RefLiveIn
+	Idx  int32   // for RefOp
+}
+
+func liveIn(r uop.Reg) Ref { return Ref{Kind: RefLiveIn, Arch: r} }
+func opRef(i int32) Ref    { return Ref{Kind: RefOp, Idx: i} }
+
+func (r Ref) String() string {
+	switch r.Kind {
+	case RefLiveIn:
+		return r.Arch.String() + "^in"
+	case RefOp:
+		return fmt.Sprintf("p%d", r.Idx)
+	}
+	return "-"
+}
+
+// FrameOp is one micro-op in the optimizer's renamed form (the paper's
+// Figure 4): explicit physical sources (Refs), architectural destination,
+// and live-in/live-out marking. A FrameOp at buffer index m produces
+// "physical register m".
+type FrameOp struct {
+	Valid bool
+	Op    uop.Op
+	Cond  x86.Cond
+
+	SrcA, SrcB Ref // value sources
+	SrcF       Ref // flags source, when the op reads flags
+	Imm        int32
+	Scale      uint8
+
+	WritesFlags bool
+	KeepCF      bool
+
+	// ArchDest is the architectural destination register (RegNone if the
+	// op produces no register value).
+	ArchDest uop.Reg
+
+	// LiveOut/FlagsLiveOut mark values the frame must deliver to
+	// architectural state (scope-dependent; computed by Remap).
+	LiveOut      bool
+	FlagsLiveOut bool
+
+	// InstIdx is the originating x86 instruction ordinal; MemSub is the
+	// memory-transaction ordinal within that instruction (-1 if none).
+	InstIdx int32
+	MemSub  int8
+	// ProfAddr is the dynamic address observed at construction (memory
+	// ops; the aliasing profile).
+	ProfAddr uint32
+	// Block is the basic-block ordinal within the frame.
+	Block int32
+
+	// Unsafe marks stores that speculative memory optimization relies on
+	// not aliasing; they are checked at runtime.
+	Unsafe bool
+}
+
+// IsMem reports whether the op accesses memory.
+func (o *FrameOp) IsMem() bool { return o.Op == uop.LOAD || o.Op == uop.STORE }
+
+// HasImmB reports whether the second operand is the immediate.
+func (o *FrameOp) HasImmB() bool { return o.SrcB.Kind == RefNone }
+
+// Scope selects the optimization scope of Section 3.
+type Scope int
+
+// Scopes, in increasing power.
+const (
+	// ScopeIntraBlock optimizes each constituent basic block in
+	// isolation (Figure 2 third column, Figure 9 "Block").
+	ScopeIntraBlock Scope = iota
+	// ScopeInterBlock assumes a single entry but allows exits at every
+	// converted branch (the trace-cache model, Figure 2 fourth column).
+	ScopeInterBlock
+	// ScopeFrame treats the whole frame as one atomic block (Figure 2
+	// fifth column; rePLay's model).
+	ScopeFrame
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeIntraBlock:
+		return "intra-block"
+	case ScopeInterBlock:
+		return "inter-block"
+	default:
+		return "frame"
+	}
+}
+
+// OptFrame is a frame in renamed form, the unit the optimizer works on.
+type OptFrame struct {
+	Ops     []FrameOp
+	StartPC uint32
+	ExitPC  uint32
+	NumX86  int
+	Scope   Scope
+
+	// UnsafeGuards records, for each unsafe store, the addressing of the
+	// eliminated load it was speculated against. At runtime the store's
+	// address is compared with the guard address; a match aborts the
+	// frame. (Checking only the speculated-across pair, rather than every
+	// prior transaction, keeps ordinary read-modify-write patterns from
+	// self-aborting.)
+	UnsafeGuards []UnsafeGuard
+
+	// Order is the rescheduled issue order from Schedule (empty = buffer
+	// order) — the paper's position field, realized by the Cleanup Logic.
+	Order []int32
+
+	// Final[r] is the frame-end producer of GPR r (live-in if untouched);
+	// FinalFlags likewise for FLAGS. Commit consults these marks — if a
+	// final producer was removed, it was an identity move and the entry
+	// value stands.
+	Final      [8]Ref
+	FinalFlags Ref
+
+	// source retains construction metadata (path PCs) for the simulator.
+	Source *frame.Frame
+}
+
+// Remap renders a constructed frame into renamed form at the given scope:
+// the paper's Remapper stage. Each micro-op's destination becomes its
+// buffer index; sources become live-in or producer references; live-out
+// marks are computed against the scope's exit points.
+func Remap(f *frame.Frame, scope Scope) *OptFrame {
+	of := &OptFrame{
+		StartPC: f.StartPC,
+		ExitPC:  f.ExitPC,
+		NumX86:  f.NumX86,
+		Scope:   scope,
+		Source:  f,
+		Ops:     make([]FrameOp, len(f.UOps)),
+	}
+
+	// last[r] is the current in-frame producer of architectural register
+	// r, or a live-in reference.
+	var last [uop.NumRegs]Ref
+	for r := range last {
+		last[r] = liveIn(uop.Reg(r))
+	}
+
+	blockEnds := f.BlockEnd
+	block := int32(0)
+	nextEnd := 0
+
+	for i, u := range f.UOps {
+		op := FrameOp{
+			Valid:       true,
+			Op:          u.Op,
+			Cond:        u.Cond,
+			Imm:         u.Imm,
+			Scale:       u.Scale,
+			WritesFlags: u.WritesFlags,
+			KeepCF:      u.KeepCF,
+			InstIdx:     f.InstIdx[i],
+			MemSub:      f.MemSub[i],
+			ProfAddr:    f.MemAddr[i],
+			Block:       block,
+		}
+		op.ArchDest = u.DestReg()
+		if u.UsesSrcA() {
+			op.SrcA = last[u.SrcA]
+		}
+		if u.UsesSrcB() {
+			op.SrcB = last[u.SrcB]
+		}
+		if u.ReadsFlags() {
+			op.SrcF = last[uop.FLAGS]
+		}
+		of.Ops[i] = op
+
+		if d := u.DestReg(); d != uop.RegNone {
+			last[d] = opRef(int32(i))
+		}
+		if u.WritesFlags {
+			last[uop.FLAGS] = opRef(int32(i))
+		}
+
+		// Liveness barrier at each block end for sub-frame scopes: every
+		// current producer is live-out because control may exit here.
+		if nextEnd < len(blockEnds) && blockEnds[nextEnd] == i {
+			nextEnd++
+			block++
+			if scope != ScopeFrame {
+				of.markLive(&last)
+			}
+		}
+	}
+	// Frame-end barrier applies at every scope, and records the final
+	// producers for commit.
+	of.markLive(&last)
+	for r := uop.Reg(0); r < 8; r++ {
+		of.Final[r] = last[r]
+	}
+	of.FinalFlags = last[uop.FLAGS]
+	return of
+}
+
+// markLive marks the current producers of the eight GPRs and FLAGS as
+// live-out. Translator temporaries are dead at instruction boundaries and
+// are never live-out (DESIGN.md).
+func (of *OptFrame) markLive(last *[uop.NumRegs]Ref) {
+	for r := uop.Reg(0); r < 8; r++ {
+		if ref := last[r]; ref.Kind == RefOp {
+			of.Ops[ref.Idx].LiveOut = true
+		}
+	}
+	if ref := last[uop.FLAGS]; ref.Kind == RefOp {
+		of.Ops[ref.Idx].FlagsLiveOut = true
+	}
+}
+
+// UnsafeGuard ties an unsafe store to the addressing of the load that was
+// speculatively eliminated across it.
+type UnsafeGuard struct {
+	Store int32 // buffer index of the unsafe store
+	Base  Ref   // eliminated load's base (post-reassociation)
+	Index Ref   // eliminated load's index register ref (RefNone if none)
+	Scale uint8
+	Imm   int32
+	// InstIdx/MemSub/ProfAddr locate the eliminated load's runtime address
+	// in the reference execution (for the timing model's conflict check).
+	InstIdx  int32
+	MemSub   int8
+	ProfAddr uint32
+}
+
+// sameRegion reports whether two op indexes may be combined under the
+// frame's scope (intra-block optimization only matches within a block).
+func (of *OptFrame) sameRegion(i, j int32) bool {
+	if of.Scope != ScopeIntraBlock {
+		return true
+	}
+	return of.Ops[i].Block == of.Ops[j].Block
+}
+
+// NumValid counts surviving micro-ops.
+func (of *OptFrame) NumValid() int {
+	n := 0
+	for i := range of.Ops {
+		if of.Ops[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// NumValidLoads counts surviving LOAD micro-ops.
+func (of *OptFrame) NumValidLoads() int {
+	n := 0
+	for i := range of.Ops {
+		if of.Ops[i].Valid && of.Ops[i].Op == uop.LOAD {
+			n++
+		}
+	}
+	return n
+}
+
+// Parents reports the producer indexes of an op's sources — the paper's
+// Parent Logic. It returns up to three indexes (SrcA, SrcB, SrcF).
+func (of *OptFrame) Parents(i int32) []int32 {
+	var out []int32
+	o := &of.Ops[i]
+	for _, r := range []Ref{o.SrcA, o.SrcB, o.SrcF} {
+		if r.Kind == RefOp {
+			out = append(out, r.Idx)
+		}
+	}
+	return out
+}
+
+// Children reports the consumer indexes of op i's value and flags — the
+// paper's Dependency List / Next Child Logic.
+func (of *OptFrame) Children(i int32) []int32 {
+	var out []int32
+	for j := range of.Ops {
+		o := &of.Ops[j]
+		if !o.Valid {
+			continue
+		}
+		if (o.SrcA.Kind == RefOp && o.SrcA.Idx == i) ||
+			(o.SrcB.Kind == RefOp && o.SrcB.Idx == i) ||
+			(o.SrcF.Kind == RefOp && o.SrcF.Idx == i) {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+func (o *FrameOp) String() string {
+	v := " "
+	if !o.Valid {
+		v = "x"
+	}
+	s := fmt.Sprintf("%s%-7s a=%s b=%s", v, o.Op, o.SrcA, o.SrcB)
+	if o.SrcF.Kind != RefNone {
+		s += " f=" + o.SrcF.String()
+	}
+	s += fmt.Sprintf(" imm=%#x dest=%s", uint32(o.Imm), o.ArchDest)
+	if o.LiveOut {
+		s += " out"
+	}
+	if o.Unsafe {
+		s += " unsafe"
+	}
+	return s
+}

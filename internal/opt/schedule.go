@@ -1,0 +1,151 @@
+package opt
+
+import "repro/internal/uop"
+
+// Schedule computes a new issue order for the frame using the paper's
+// position-field mechanism (Section 4): "the optimization algorithms can
+// use the position field to adjust the frame's schedule. The Cleanup
+// Logic can use associative lookups to read the frame out of the
+// Optimization Buffer in the specified order."
+//
+// The schedule is a critical-path-first list schedule under two
+// constraints: an op is placed after its producers (so the fetch-order
+// dataflow of the timing model and executor stays resolvable), and
+// memory operations and assertions keep their original relative order
+// (the paper: memory ordering must be preserved; assertions gate
+// commit). The result is stored in of.Order; an empty Order means
+// original buffer order.
+func Schedule(of *OptFrame) {
+	n := len(of.Ops)
+
+	// Critical-path height: longest consumer chain below each op.
+	height := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		o := &of.Ops[i]
+		if !o.Valid {
+			continue
+		}
+		h := height[i] // already raised by consumers processed before
+		if h == 0 {
+			height[i] = 1
+			h = 1
+		}
+		raise := func(r Ref) {
+			if r.Kind == RefOp {
+				if height[r.Idx] < h+1 {
+					height[r.Idx] = h + 1
+				}
+			}
+		}
+		raise(o.SrcA)
+		raise(o.SrcB)
+		raise(o.SrcF)
+	}
+
+	// Ordering constraints.
+	prodCount := make([]int32, n) // unscheduled producers
+	for i := 0; i < n; i++ {
+		o := &of.Ops[i]
+		if !o.Valid {
+			continue
+		}
+		for _, r := range []Ref{o.SrcA, o.SrcB, o.SrcF} {
+			if r.Kind == RefOp && of.Ops[r.Idx].Valid {
+				prodCount[i]++
+			}
+		}
+	}
+	// Serial chain of memory/assert ops in original order.
+	var serial []int32
+	for i := 0; i < n; i++ {
+		o := &of.Ops[i]
+		if o.Valid && (o.IsMem() || o.Op.IsAssert() || o.Op.IsControl()) {
+			serial = append(serial, int32(i))
+		}
+	}
+	nextSerial := 0
+
+	scheduled := make([]bool, n)
+	order := make([]int32, 0, n)
+
+	for {
+		best := int32(-1)
+		for i := 0; i < n; i++ {
+			o := &of.Ops[i]
+			if !o.Valid || scheduled[i] || prodCount[i] > 0 {
+				continue
+			}
+			if (o.IsMem() || o.Op.IsAssert() || o.Op.IsControl()) &&
+				(nextSerial >= len(serial) || serial[nextSerial] != int32(i)) {
+				continue // not this mem/assert op's turn
+			}
+			if best < 0 || height[i] > height[best] ||
+				(height[i] == height[best] && i < int(best)) {
+				best = int32(i)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		scheduled[best] = true
+		order = append(order, best)
+		if nextSerial < len(serial) && serial[nextSerial] == best {
+			nextSerial++
+		}
+		// Release consumers.
+		for j := 0; j < n; j++ {
+			o := &of.Ops[j]
+			if !o.Valid || scheduled[j] {
+				continue
+			}
+			for _, r := range []Ref{o.SrcA, o.SrcB, o.SrcF} {
+				if r.Kind == RefOp && r.Idx == best {
+					prodCount[j]--
+				}
+			}
+		}
+	}
+	of.Order = order
+}
+
+// Iterate visits the frame's valid ops in issue order: the rescheduled
+// order when Schedule ran, buffer order otherwise.
+func (of *OptFrame) Iterate(fn func(idx int32, o *FrameOp)) {
+	if len(of.Order) > 0 {
+		for _, i := range of.Order {
+			fn(i, &of.Ops[i])
+		}
+		return
+	}
+	for i := range of.Ops {
+		if of.Ops[i].Valid {
+			fn(int32(i), &of.Ops[i])
+		}
+	}
+}
+
+// MaxHeight returns the frame's dataflow critical-path length in valid
+// micro-ops (diagnostic; the paper's "computation tree height").
+func (of *OptFrame) MaxHeight() int {
+	n := len(of.Ops)
+	depth := make([]int32, n)
+	var max int32
+	for i := 0; i < n; i++ {
+		o := &of.Ops[i]
+		if !o.Valid {
+			continue
+		}
+		d := int32(1)
+		for _, r := range []Ref{o.SrcA, o.SrcB, o.SrcF} {
+			if r.Kind == RefOp && depth[r.Idx]+1 > d {
+				d = depth[r.Idx] + 1
+			}
+		}
+		depth[i] = d
+		if d > max {
+			max = d
+		}
+	}
+	_ = uop.NOP
+	return int(max)
+}

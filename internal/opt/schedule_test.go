@@ -1,0 +1,154 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/uop"
+)
+
+// TestScheduleTopological: every op appears once, after its producers.
+func TestScheduleTopological(t *testing.T) {
+	f := buildFigure2Frame(t)
+	of := Remap(f, ScopeFrame)
+	Optimize(of, AllOptions())
+	Schedule(of)
+
+	if len(of.Order) != of.NumValid() {
+		t.Fatalf("order has %d entries, %d valid ops", len(of.Order), of.NumValid())
+	}
+	pos := make(map[int32]int)
+	for p, idx := range of.Order {
+		if _, dup := pos[idx]; dup {
+			t.Fatalf("op %d scheduled twice", idx)
+		}
+		pos[idx] = p
+	}
+	for _, idx := range of.Order {
+		o := &of.Ops[idx]
+		for _, r := range []Ref{o.SrcA, o.SrcB, o.SrcF} {
+			if r.Kind == RefOp && of.Ops[r.Idx].Valid {
+				if pos[r.Idx] >= pos[idx] {
+					t.Errorf("op %d scheduled before its producer %d", idx, r.Idx)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulePreservesMemoryOrder: memory ops and assertions keep their
+// original relative order.
+func TestSchedulePreservesMemoryOrder(t *testing.T) {
+	f := buildFigure2Frame(t)
+	of := Remap(f, ScopeFrame)
+	Optimize(of, AllOptions())
+	Schedule(of)
+
+	var orig, sched []int32
+	for i := range of.Ops {
+		o := &of.Ops[i]
+		if o.Valid && (o.IsMem() || o.Op.IsAssert() || o.Op.IsControl()) {
+			orig = append(orig, int32(i))
+		}
+	}
+	for _, idx := range of.Order {
+		o := &of.Ops[idx]
+		if o.IsMem() || o.Op.IsAssert() || o.Op.IsControl() {
+			sched = append(sched, idx)
+		}
+	}
+	if len(orig) != len(sched) {
+		t.Fatalf("memory/assert op count changed: %d vs %d", len(orig), len(sched))
+	}
+	for i := range orig {
+		if orig[i] != sched[i] {
+			t.Fatalf("memory order changed at %d: %v vs %v", i, orig, sched)
+		}
+	}
+}
+
+// TestSchedulePreservesSemantics: execution in scheduled order produces
+// the same architectural results as buffer order.
+func TestSchedulePreservesSemantics(t *testing.T) {
+	f := buildFigure2Frame(t)
+	of := Remap(f, ScopeFrame)
+	Optimize(of, AllOptions())
+	base := executeAndCheck(t, of, "buffer-order")
+
+	g := buildFigure2Frame(t)
+	og := Remap(g, ScopeFrame)
+	Optimize(og, AllOptions())
+	Schedule(og)
+	sched := executeAndCheck(t, og, "scheduled")
+
+	if base.Regs != sched.Regs {
+		t.Errorf("register state differs:\n  %v\n  %v", base.Regs, sched.Regs)
+	}
+	if len(base.Stores) != len(sched.Stores) {
+		t.Fatalf("store counts differ")
+	}
+	for i := range base.Stores {
+		if base.Stores[i] != sched.Stores[i] {
+			t.Errorf("store %d differs", i)
+		}
+	}
+}
+
+// TestScheduleCriticalPathFirst: with independent chains, the deeper
+// chain's first op schedules before the shallow chain's.
+func TestScheduleCriticalPathFirst(t *testing.T) {
+	// op0: shallow — ECX <- ECX+1 (height 1, nothing consumes it)
+	// op1..3: deep chain on EAX (heights 3,2,1)
+	f := chainFrame(false)
+	f.UOps = append([]uop.UOp{
+		{Op: uop.ADD, Dest: uop.ECX, SrcA: uop.ECX, SrcB: uop.RegNone, Imm: 1},
+	}, f.UOps...)
+	f.InstIdx = []int32{0, 1, 2, 3, 4}
+	f.MemSub = []int8{-1, -1, -1, -1, -1}
+	f.MemAddr = []uint32{0, 0, 0, 0, 0}
+	f.PCs = append([]uint32{0xF0}, f.PCs...)
+	f.NextPCs = append([]uint32{0x100}, f.NextPCs...)
+	f.NumX86 = 5
+
+	of := Remap(f, ScopeFrame)
+	// No optimization: schedule the raw chain.
+	Schedule(of)
+	if len(of.Order) != 5 {
+		t.Fatalf("order = %v", of.Order)
+	}
+	// The EAX chain head (index 1) must schedule before the shallow ECX op
+	// (index 0).
+	posOf := map[int32]int{}
+	for p, idx := range of.Order {
+		posOf[idx] = p
+	}
+	if posOf[1] > posOf[0] {
+		t.Errorf("critical-path op not prioritized: order %v", of.Order)
+	}
+}
+
+// TestMaxHeightDropsWithReassociation: the paper's "computation tree
+// height" claim — reassociation shortens the critical path.
+func TestMaxHeightDropsWithReassociation(t *testing.T) {
+	of := Remap(chainFrame(false), ScopeFrame)
+	before := of.MaxHeight()
+	Optimize(of, AllOptions())
+	after := of.MaxHeight()
+	if after >= before {
+		t.Errorf("tree height %d -> %d; reassociation should shorten it", before, after)
+	}
+}
+
+// TestIterateBufferOrder: without Schedule, Iterate visits valid ops in
+// buffer order.
+func TestIterateBufferOrder(t *testing.T) {
+	f := buildFigure2Frame(t)
+	of := Remap(f, ScopeFrame)
+	Optimize(of, AllOptions())
+	last := int32(-1)
+	of.Iterate(func(idx int32, o *FrameOp) {
+		if idx <= last {
+			t.Fatalf("buffer order violated: %d after %d", idx, last)
+		}
+		last = idx
+	})
+}

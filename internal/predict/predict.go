@@ -1,0 +1,112 @@
+// Package predict implements the branch prediction structures of the
+// paper's Table 2 configuration: an 18-bit gshare conditional predictor,
+// a branch target buffer, and a return address stack.
+package predict
+
+// Gshare is a global-history XOR-indexed table of 2-bit saturating
+// counters.
+type Gshare struct {
+	bits    uint
+	mask    uint32
+	history uint32
+	table   []uint8
+}
+
+// NewGshare returns a predictor with 2^bits counters.
+func NewGshare(bits uint) *Gshare {
+	return &Gshare{
+		bits:  bits,
+		mask:  (1 << bits) - 1,
+		table: make([]uint8, 1<<bits),
+	}
+}
+
+func (g *Gshare) index(pc uint32) uint32 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint32) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the counter and shifts the outcome into the global
+// history.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	c := g.table[i]
+	if taken {
+		if c < 3 {
+			g.table[i] = c + 1
+		}
+	} else if c > 0 {
+		g.table[i] = c - 1
+	}
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// BTB is a direct-mapped branch target buffer.
+type BTB struct {
+	mask    uint32
+	tags    []uint32
+	targets []uint32
+	valid   []bool
+}
+
+// NewBTB returns a direct-mapped BTB with the given number of entries
+// (rounded up to a power of two).
+func NewBTB(entries int) *BTB {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &BTB{
+		mask:    uint32(n - 1),
+		tags:    make([]uint32, n),
+		targets: make([]uint32, n),
+		valid:   make([]bool, n),
+	}
+}
+
+// Lookup returns the predicted target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint32) (uint32, bool) {
+	i := (pc >> 2) & b.mask
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update records the branch's actual target.
+func (b *BTB) Update(pc, target uint32) {
+	i := (pc >> 2) & b.mask
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+}
+
+// RAS is a fixed-depth return address stack with wraparound.
+type RAS struct {
+	stack []uint32
+	top   int
+	depth int
+}
+
+// NewRAS returns a return address stack of the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint32, depth), depth: depth}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(addr uint32) {
+	r.top = (r.top + 1) % r.depth
+	r.stack[r.top] = addr
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() uint32 {
+	v := r.stack[r.top]
+	r.top = (r.top - 1 + r.depth) % r.depth
+	return v
+}

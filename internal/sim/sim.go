@@ -1,0 +1,210 @@
+// Package sim is the experiment driver: it wires workloads, the
+// functional reference machine, and the timing model together, runs the
+// paper's four processor configurations, and computes the metrics behind
+// every table and figure of the evaluation (Section 6).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/pipeline"
+	"repro/internal/translate"
+	"repro/internal/uop"
+	"repro/internal/workload"
+	"repro/internal/x86"
+)
+
+// cpuStream adapts the functional interpreter to the timing model's
+// correct-path instruction stream (the Micro-Op Injector).
+type cpuStream struct {
+	c     *cpu.CPU
+	insts map[uint32]x86.Inst
+	uops  map[uint32][]uop.UOp
+	err   error
+}
+
+func newCPUStream(prog *workload.Program) *cpuStream {
+	return &cpuStream{
+		c:     prog.NewCPU(),
+		insts: make(map[uint32]x86.Inst),
+		uops:  make(map[uint32][]uop.UOp),
+	}
+}
+
+// Next retires one instruction on the reference machine.
+func (s *cpuStream) Next() (pipeline.Slot, bool) {
+	if s.c.Halted || s.err != nil {
+		return pipeline.Slot{}, false
+	}
+	pc := s.c.PC
+	in, ok := s.insts[pc]
+	var us []uop.UOp
+	if ok {
+		us = s.uops[pc]
+	} else {
+		var err error
+		in, err = x86.Decode(s.c.Mem.ReadBytes(pc, 15))
+		if err != nil {
+			s.err = err
+			return pipeline.Slot{}, false
+		}
+		us, err = translate.UOps(in, pc)
+		if err != nil {
+			s.err = err
+			return pipeline.Slot{}, false
+		}
+		s.insts[pc] = in
+		s.uops[pc] = us
+	}
+	if in.Op == x86.OpHLT {
+		return pipeline.Slot{}, false
+	}
+	rec, err := s.c.Step()
+	if err != nil {
+		s.err = err
+		return pipeline.Slot{}, false
+	}
+	addrs := make([]uint32, 0, len(rec.MemOps))
+	for _, m := range rec.MemOps {
+		addrs = append(addrs, m.Addr)
+	}
+	return pipeline.Slot{PC: pc, Inst: in, UOps: us, NextPC: rec.NextPC, MemAddrs: addrs}, true
+}
+
+// Options configures a run beyond the processor mode.
+type Options struct {
+	// ConfigMod edits the Table 2 configuration before the run (ablation
+	// hooks: optimization switches, scope, latencies, sizes).
+	ConfigMod func(*pipeline.Config)
+	// WarmupFrac is the fraction of the instruction budget excluded from
+	// measurement while caches, predictors, and the frame cache warm.
+	WarmupFrac float64
+	// MaxInsts overrides the profile's instruction budget when > 0.
+	MaxInsts int
+}
+
+// Result is the aggregated outcome of one workload under one mode.
+type Result struct {
+	Workload string
+	Class    string
+	Mode     pipeline.Mode
+	Stats    pipeline.Stats
+}
+
+// IPC is the workload's x86 instructions per cycle.
+func (r *Result) IPC() float64 { return r.Stats.IPC() }
+
+// RunWorkload simulates every hot-spot trace of the profile under the
+// mode and aggregates the measured statistics.
+func RunWorkload(p workload.Profile, mode pipeline.Mode, o Options) (Result, error) {
+	res := Result{Workload: p.Name, Class: p.Class, Mode: mode}
+	budget := p.XInsts
+	if o.MaxInsts > 0 {
+		budget = o.MaxInsts
+	}
+	warmFrac := o.WarmupFrac
+	if warmFrac == 0 {
+		// The paper's traces run 50-300M instructions, so optimizer and
+		// frame-cache fill is negligible; at our scaled trace lengths the
+		// fill phase must be excluded explicitly.
+		warmFrac = 0.4
+	}
+	for t := 0; t < p.Traces; t++ {
+		prog, err := workload.Generate(p, t)
+		if err != nil {
+			return res, err
+		}
+		cfg := pipeline.DefaultConfig(mode)
+		if o.ConfigMod != nil {
+			o.ConfigMod(&cfg)
+		}
+		stream := newCPUStream(prog)
+		eng := pipeline.New(cfg, mode, stream)
+
+		warm := uint64(float64(budget) * warmFrac)
+		eng.Run(warm)
+		eng.ResetStats()
+		eng.Run(uint64(budget) - warm)
+		if stream.err != nil {
+			return res, fmt.Errorf("sim %s trace %d: %w", p.Name, t, stream.err)
+		}
+		addStats(&res.Stats, eng.Stats())
+	}
+	return res, nil
+}
+
+func addStats(dst *pipeline.Stats, s pipeline.Stats) {
+	dst.Cycles += s.Cycles
+	for b := pipeline.Bin(0); b < pipeline.NumBins; b++ {
+		dst.Bins[b] += s.Bins[b]
+	}
+	dst.X86Retired += s.X86Retired
+	dst.UOpsRetired += s.UOpsRetired
+	dst.UOpsBaseline += s.UOpsBaseline
+	dst.LoadsBaseline += s.LoadsBaseline
+	dst.LoadsRetired += s.LoadsRetired
+	dst.CoveredBaseline += s.CoveredBaseline
+	dst.CondBranches += s.CondBranches
+	dst.Mispredicts += s.Mispredicts
+	dst.BTBMisses += s.BTBMisses
+	dst.FramesConstructed += s.FramesConstructed
+	dst.FramesOptimized += s.FramesOptimized
+	dst.FramesDropped += s.FramesDropped
+	dst.FrameFetches += s.FrameFetches
+	dst.FrameCommits += s.FrameCommits
+	dst.FrameAborts += s.FrameAborts
+	dst.UnsafeAborts += s.UnsafeAborts
+	dst.Opt.UOpsIn += s.Opt.UOpsIn
+	dst.Opt.UOpsOut += s.Opt.UOpsOut
+	dst.Opt.LoadsIn += s.Opt.LoadsIn
+	dst.Opt.LoadsOut += s.Opt.LoadsOut
+	dst.Opt.RemovedNOP += s.Opt.RemovedNOP
+	dst.Opt.FoldedCP += s.Opt.FoldedCP
+	dst.Opt.Reassoc += s.Opt.Reassoc
+	dst.Opt.CSEVals += s.Opt.CSEVals
+	dst.Opt.CSELoads += s.Opt.CSELoads
+	dst.Opt.SFLoads += s.Opt.SFLoads
+	dst.Opt.FusedAsserts += s.Opt.FusedAsserts
+	dst.Opt.RemovedDCE += s.Opt.RemovedDCE
+	dst.Opt.UnsafeStores += s.Opt.UnsafeStores
+	dst.EndUnbiased += s.EndUnbiased
+	dst.EndUnstable += s.EndUnstable
+	dst.EndMaxSize += s.EndMaxSize
+	dst.DroppedSmall += s.DroppedSmall
+}
+
+// runJob is one (workload, mode, options) simulation request.
+type runJob struct {
+	profile workload.Profile
+	mode    pipeline.Mode
+	opts    Options
+	out     *Result
+	err     *error
+}
+
+// RunAll executes jobs in parallel across CPUs.
+func runAll(jobs []runJob) error {
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(j *runJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunWorkload(j.profile, j.mode, j.opts)
+			*j.out = r
+			*j.err = err
+		}(&jobs[i])
+	}
+	wg.Wait()
+	for i := range jobs {
+		if *jobs[i].err != nil {
+			return *jobs[i].err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package stats renders the harness's tables and figure series as text:
+// aligned columns for the paper's tables and proportional bar charts for
+// its figures.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows for aligned text output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v unless already strings.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// Bar renders a labeled proportional bar: "label |#### value".
+func Bar(w io.Writer, label string, value, max float64, width int, format string) {
+	n := 0
+	if max > 0 {
+		n = int(value / max * float64(width))
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	fmt.Fprintf(w, "%-14s |%s%s %s\n", label,
+		strings.Repeat("#", n), strings.Repeat(" ", width-n),
+		fmt.Sprintf(format, value))
+}
+
+// StackedBar renders one row of a stacked composition (Figures 7/8):
+// each segment is drawn with its rune, proportional to the total scale.
+func StackedBar(w io.Writer, label string, segs []float64, runes []rune, scale float64, width int) {
+	var b strings.Builder
+	for i, s := range segs {
+		n := 0
+		if scale > 0 {
+			n = int(s / scale * float64(width))
+		}
+		for k := 0; k < n; k++ {
+			b.WriteRune(runes[i%len(runes)])
+		}
+	}
+	fmt.Fprintf(w, "%-14s |%s\n", label, b.String())
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.Row("alpha", 42)
+	tb.Row("b", 3.14159)
+	var sb strings.Builder
+	tb.Write(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Name") || !strings.Contains(lines[0], "Value") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "42") {
+		t.Errorf("row: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "3.14") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns align: all lines the same length.
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("misaligned: %d vs %d", len(lines[0]), len(lines[2]))
+	}
+}
+
+func TestBar(t *testing.T) {
+	var sb strings.Builder
+	Bar(&sb, "x", 5, 10, 20, "%.1f")
+	out := sb.String()
+	if strings.Count(out, "#") != 10 {
+		t.Errorf("bar length: %q", out)
+	}
+	sb.Reset()
+	Bar(&sb, "x", 50, 10, 20, "%.1f") // clamps
+	if strings.Count(sb.String(), "#") != 20 {
+		t.Errorf("bar not clamped: %q", sb.String())
+	}
+	sb.Reset()
+	Bar(&sb, "x", -1, 10, 20, "%.1f") // floors at zero
+	if strings.Count(sb.String(), "#") != 0 {
+		t.Errorf("negative bar: %q", sb.String())
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	var sb strings.Builder
+	StackedBar(&sb, "row", []float64{10, 10}, []rune{'a', 'b'}, 40, 40)
+	out := sb.String()
+	if strings.Count(out, "a") != 10 || strings.Count(out, "b") != 10 {
+		t.Errorf("stacked segments: %q", out)
+	}
+}

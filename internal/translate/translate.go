@@ -1,0 +1,385 @@
+// Package translate implements the x86-to-rePLay micro-operation decode
+// flows (the second stage of the paper's Micro-Op Injector, Section 5.1.1).
+//
+// Each x86 instruction decodes independently into one or more fixed-format
+// micro-ops, using the translator temporaries ET0.. for intermediate
+// values. The flows target the paper's reported ~1.4 micro-ops per x86
+// instruction. Deviations from exact IA-32 semantics (flag behaviour of
+// multiplies/divides, 32-bit dividends) are documented in DESIGN.md and
+// implemented consistently here and in the reference interpreter
+// (internal/cpu), which the differential tests compare.
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+	"repro/internal/x86"
+)
+
+// flow is a helper that accumulates the micro-ops of one instruction and
+// hands out translator temporaries.
+type flow struct {
+	ops      []uop.UOp
+	nextTemp uop.Reg
+}
+
+func (f *flow) emit(u uop.UOp) {
+	f.ops = append(f.ops, u)
+}
+
+func (f *flow) temp() uop.Reg {
+	if f.nextTemp >= uop.ET0+uop.NumTemps {
+		panic("translate: out of temporaries")
+	}
+	t := f.nextTemp
+	f.nextTemp++
+	return t
+}
+
+// addr reduces an x86 memory reference to a (base, displacement) pair,
+// emitting an LEA micro-op for scaled-index forms. Keeping the
+// displacement symbolic (rather than folding it into the LEA) gives the
+// optimizer's reassociation and memory passes literal offsets to compare.
+func (f *flow) addr(m x86.MemRef) (uop.Reg, int32) {
+	base := uop.RegNone
+	if m.Base != x86.RegNone {
+		base = uop.FromX86(m.Base)
+	}
+	if m.Index == x86.RegNone {
+		return base, m.Disp
+	}
+	t := f.temp()
+	f.emit(uop.UOp{
+		Op:    uop.LEA,
+		Dest:  t,
+		SrcA:  base,
+		SrcB:  uop.FromX86(m.Index),
+		Scale: m.Scale,
+		Imm:   0,
+	})
+	return t, m.Disp
+}
+
+// load emits a LOAD micro-op with the reference's full addressing mode.
+func (f *flow) load(dest uop.Reg, m x86.MemRef) {
+	u := uop.UOp{Op: uop.LOAD, Dest: dest, SrcA: uop.RegNone, SrcB: uop.RegNone, Imm: m.Disp}
+	if m.Base != x86.RegNone {
+		u.SrcA = uop.FromX86(m.Base)
+	}
+	if m.Index != x86.RegNone {
+		u.SrcB = uop.FromX86(m.Index)
+		u.Scale = m.Scale
+	}
+	f.emit(u)
+}
+
+// value materializes an operand into a register, emitting LOAD/LIMM
+// micro-ops as needed.
+func (f *flow) value(o x86.Operand) uop.Reg {
+	switch o.Kind {
+	case x86.KindReg:
+		return uop.FromX86(o.Reg)
+	case x86.KindImm:
+		t := f.temp()
+		f.emit(uop.UOp{Op: uop.LIMM, Dest: t, Imm: o.Imm})
+		return t
+	case x86.KindMem:
+		t := f.temp()
+		f.load(t, o.Mem)
+		return t
+	}
+	panic("translate: bad operand")
+}
+
+// aluOp maps an x86 ALU mnemonic to its micro-op opcode.
+func aluOp(op x86.Op) (uop.Op, bool) {
+	switch op {
+	case x86.OpADD:
+		return uop.ADD, true
+	case x86.OpADC:
+		return uop.ADC, true
+	case x86.OpSUB, x86.OpCMP:
+		return uop.SUB, true
+	case x86.OpSBB:
+		return uop.SBB, true
+	case x86.OpAND, x86.OpTEST:
+		return uop.AND, true
+	case x86.OpOR:
+		return uop.OR, true
+	case x86.OpXOR:
+		return uop.XOR, true
+	case x86.OpSHL:
+		return uop.SHL, true
+	case x86.OpSHR:
+		return uop.SHR, true
+	case x86.OpSAR:
+		return uop.SAR, true
+	}
+	return 0, false
+}
+
+const wordSize = 4
+
+// UOps translates one decoded x86 instruction located at pc into its
+// micro-operation flow. Relative branch targets are resolved to absolute
+// addresses (the micro-op Imm field).
+func UOps(in x86.Inst, pc uint32) ([]uop.UOp, error) {
+	f := &flow{nextTemp: uop.ET0}
+	esp := uop.ESP
+
+	// push emits the canonical PUSH flow for a value register.
+	push := func(v uop.Reg) {
+		f.emit(uop.UOp{Op: uop.STORE, SrcA: esp, SrcB: v, Imm: -wordSize})
+		f.emit(uop.UOp{Op: uop.SUB, Dest: esp, SrcA: esp, SrcB: uop.RegNone, Imm: wordSize})
+	}
+
+	switch in.Op {
+	case x86.OpNOP, x86.OpHLT:
+		f.emit(uop.UOp{Op: uop.NOP})
+
+	case x86.OpMOV:
+		switch {
+		case in.Dst.Kind == x86.KindReg && in.Src.Kind == x86.KindImm:
+			f.emit(uop.UOp{Op: uop.LIMM, Dest: uop.FromX86(in.Dst.Reg), Imm: in.Src.Imm})
+		case in.Dst.Kind == x86.KindReg && in.Src.Kind == x86.KindReg:
+			f.emit(uop.UOp{Op: uop.MOV, Dest: uop.FromX86(in.Dst.Reg), SrcA: uop.FromX86(in.Src.Reg)})
+		case in.Dst.Kind == x86.KindReg && in.Src.Kind == x86.KindMem:
+			f.load(uop.FromX86(in.Dst.Reg), in.Src.Mem)
+		case in.Dst.Kind == x86.KindMem:
+			v := f.value(in.Src)
+			base, disp := f.addr(in.Dst.Mem)
+			f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: v, Imm: disp})
+		default:
+			return nil, fmt.Errorf("translate: bad MOV %s", in)
+		}
+
+	case x86.OpLEA:
+		m := in.Src.Mem
+		base := uop.RegNone
+		if m.Base != x86.RegNone {
+			base = uop.FromX86(m.Base)
+		}
+		idx := uop.RegNone
+		if m.Index != x86.RegNone {
+			idx = uop.FromX86(m.Index)
+		}
+		f.emit(uop.UOp{
+			Op: uop.LEA, Dest: uop.FromX86(in.Dst.Reg),
+			SrcA: base, SrcB: idx, Scale: m.Scale, Imm: m.Disp,
+		})
+
+	case x86.OpXCHG:
+		s := uop.FromX86(in.Src.Reg)
+		if in.Dst.Kind == x86.KindReg {
+			d := uop.FromX86(in.Dst.Reg)
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.MOV, Dest: t, SrcA: d})
+			f.emit(uop.UOp{Op: uop.MOV, Dest: d, SrcA: s})
+			f.emit(uop.UOp{Op: uop.MOV, Dest: s, SrcA: t})
+		} else {
+			base, disp := f.addr(in.Dst.Mem)
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: base, SrcB: uop.RegNone, Imm: disp})
+			f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: s, Imm: disp})
+			f.emit(uop.UOp{Op: uop.MOV, Dest: s, SrcA: t})
+		}
+
+	case x86.OpCMOV:
+		v := f.value(in.Src)
+		d := uop.FromX86(in.Dst.Reg)
+		f.emit(uop.UOp{Op: uop.SELECT, Cond: in.Cond, Dest: d, SrcA: v, SrcB: d})
+
+	case x86.OpADD, x86.OpADC, x86.OpSUB, x86.OpSBB, x86.OpAND, x86.OpOR,
+		x86.OpXOR, x86.OpCMP, x86.OpTEST, x86.OpSHL, x86.OpSHR, x86.OpSAR:
+		op, _ := aluOp(in.Op)
+		dest := uop.RegNone // CMP/TEST discard the result
+		writeBack := in.Op != x86.OpCMP && in.Op != x86.OpTEST
+		switch {
+		case in.Dst.Kind == x86.KindReg:
+			if writeBack {
+				dest = uop.FromX86(in.Dst.Reg)
+			}
+			u := uop.UOp{Op: op, Dest: dest, SrcA: uop.FromX86(in.Dst.Reg), WritesFlags: true}
+			switch in.Src.Kind {
+			case x86.KindImm:
+				u.SrcB = uop.RegNone
+				u.Imm = in.Src.Imm
+			case x86.KindReg:
+				u.SrcB = uop.FromX86(in.Src.Reg)
+			case x86.KindMem:
+				u.SrcB = f.value(in.Src)
+			}
+			f.emit(u)
+		case in.Dst.Kind == x86.KindMem:
+			base, disp := f.addr(in.Dst.Mem)
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: base, SrcB: uop.RegNone, Imm: disp})
+			u := uop.UOp{Op: op, SrcA: t, WritesFlags: true}
+			if writeBack {
+				u.Dest = t
+			}
+			switch in.Src.Kind {
+			case x86.KindImm:
+				u.SrcB = uop.RegNone
+				u.Imm = in.Src.Imm
+			case x86.KindReg:
+				u.SrcB = uop.FromX86(in.Src.Reg)
+			}
+			f.emit(u)
+			if writeBack {
+				f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: t, Imm: disp})
+			}
+		default:
+			return nil, fmt.Errorf("translate: bad ALU %s", in)
+		}
+
+	case x86.OpINC, x86.OpDEC:
+		op := uop.ADD
+		if in.Op == x86.OpDEC {
+			op = uop.SUB
+		}
+		if in.Dst.Kind == x86.KindReg {
+			d := uop.FromX86(in.Dst.Reg)
+			f.emit(uop.UOp{Op: op, Dest: d, SrcA: d, SrcB: uop.RegNone, Imm: 1, WritesFlags: true, KeepCF: true})
+		} else {
+			base, disp := f.addr(in.Dst.Mem)
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: base, SrcB: uop.RegNone, Imm: disp})
+			f.emit(uop.UOp{Op: op, Dest: t, SrcA: t, SrcB: uop.RegNone, Imm: 1, WritesFlags: true, KeepCF: true})
+			f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: t, Imm: disp})
+		}
+
+	case x86.OpNEG:
+		if in.Dst.Kind == x86.KindReg {
+			d := uop.FromX86(in.Dst.Reg)
+			f.emit(uop.UOp{Op: uop.SUB, Dest: d, SrcA: uop.RegNone, SrcB: d, WritesFlags: true})
+		} else {
+			base, disp := f.addr(in.Dst.Mem)
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: base, SrcB: uop.RegNone, Imm: disp})
+			f.emit(uop.UOp{Op: uop.SUB, Dest: t, SrcA: uop.RegNone, SrcB: t, WritesFlags: true})
+			f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: t, Imm: disp})
+		}
+
+	case x86.OpNOT:
+		if in.Dst.Kind == x86.KindReg {
+			d := uop.FromX86(in.Dst.Reg)
+			f.emit(uop.UOp{Op: uop.XOR, Dest: d, SrcA: d, SrcB: uop.RegNone, Imm: -1})
+		} else {
+			base, disp := f.addr(in.Dst.Mem)
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: base, SrcB: uop.RegNone, Imm: disp})
+			f.emit(uop.UOp{Op: uop.XOR, Dest: t, SrcA: t, SrcB: uop.RegNone, Imm: -1})
+			f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: t, Imm: disp})
+		}
+
+	case x86.OpIMUL:
+		switch {
+		case in.Src.Kind == x86.KindNone:
+			// One-operand: EDX:EAX = EAX * r/m32.
+			v := f.value(in.Dst)
+			lo := f.temp()
+			f.emit(uop.UOp{Op: uop.MULLO, Dest: lo, SrcA: uop.EAX, SrcB: v})
+			f.emit(uop.UOp{Op: uop.MULHIS, Dest: uop.EDX, SrcA: uop.EAX, SrcB: v})
+			f.emit(uop.UOp{Op: uop.MOV, Dest: uop.EAX, SrcA: lo})
+		case in.Imm3 != 0:
+			v := f.value(in.Src)
+			f.emit(uop.UOp{Op: uop.MULLO, Dest: uop.FromX86(in.Dst.Reg), SrcA: v, SrcB: uop.RegNone, Imm: in.Imm3})
+		default:
+			v := f.value(in.Src)
+			d := uop.FromX86(in.Dst.Reg)
+			f.emit(uop.UOp{Op: uop.MULLO, Dest: d, SrcA: d, SrcB: v})
+		}
+
+	case x86.OpMUL:
+		v := f.value(in.Dst)
+		lo := f.temp()
+		f.emit(uop.UOp{Op: uop.MULLO, Dest: lo, SrcA: uop.EAX, SrcB: v})
+		f.emit(uop.UOp{Op: uop.MULHIU, Dest: uop.EDX, SrcA: uop.EAX, SrcB: v})
+		f.emit(uop.UOp{Op: uop.MOV, Dest: uop.EAX, SrcA: lo})
+
+	case x86.OpDIV, x86.OpIDIV:
+		divOp, remOp := uop.DIVU, uop.REMU
+		if in.Op == x86.OpIDIV {
+			divOp, remOp = uop.DIVS, uop.REMS
+		}
+		v := f.value(in.Dst)
+		q := f.temp()
+		f.emit(uop.UOp{Op: divOp, Dest: q, SrcA: uop.EAX, SrcB: v})
+		f.emit(uop.UOp{Op: remOp, Dest: uop.EDX, SrcA: uop.EAX, SrcB: v})
+		f.emit(uop.UOp{Op: uop.MOV, Dest: uop.EAX, SrcA: q})
+
+	case x86.OpCDQ:
+		f.emit(uop.UOp{Op: uop.SAR, Dest: uop.EDX, SrcA: uop.EAX, SrcB: uop.RegNone, Imm: 31})
+
+	case x86.OpPUSH:
+		push(f.value(in.Dst))
+
+	case x86.OpPOP:
+		if in.Dst.Kind == x86.KindReg {
+			d := uop.FromX86(in.Dst.Reg)
+			if d == esp {
+				t := f.temp()
+				f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: esp, SrcB: uop.RegNone, Imm: 0})
+				f.emit(uop.UOp{Op: uop.MOV, Dest: esp, SrcA: t})
+			} else {
+				f.emit(uop.UOp{Op: uop.LOAD, Dest: d, SrcA: esp, SrcB: uop.RegNone, Imm: 0})
+				f.emit(uop.UOp{Op: uop.ADD, Dest: esp, SrcA: esp, SrcB: uop.RegNone, Imm: wordSize})
+			}
+		} else {
+			t := f.temp()
+			f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: esp, SrcB: uop.RegNone, Imm: 0})
+			f.emit(uop.UOp{Op: uop.ADD, Dest: esp, SrcA: esp, SrcB: uop.RegNone, Imm: wordSize})
+			base, disp := f.addr(in.Dst.Mem)
+			f.emit(uop.UOp{Op: uop.STORE, SrcA: base, SrcB: t, Imm: disp})
+		}
+
+	case x86.OpLEAVE:
+		f.emit(uop.UOp{Op: uop.MOV, Dest: esp, SrcA: uop.EBP})
+		f.emit(uop.UOp{Op: uop.LOAD, Dest: uop.EBP, SrcA: esp, SrcB: uop.RegNone, Imm: 0})
+		f.emit(uop.UOp{Op: uop.ADD, Dest: esp, SrcA: esp, SrcB: uop.RegNone, Imm: wordSize})
+
+	case x86.OpJMP:
+		switch in.Dst.Kind {
+		case x86.KindImm:
+			f.emit(uop.UOp{Op: uop.JMP, Imm: int32(in.TargetPC(pc))})
+		case x86.KindReg:
+			f.emit(uop.UOp{Op: uop.JR, SrcA: uop.FromX86(in.Dst.Reg)})
+		case x86.KindMem:
+			v := f.value(in.Dst)
+			f.emit(uop.UOp{Op: uop.JR, SrcA: v})
+		}
+
+	case x86.OpJCC:
+		f.emit(uop.UOp{Op: uop.BR, Cond: in.Cond, Imm: int32(in.TargetPC(pc))})
+
+	case x86.OpCALL:
+		ret := f.temp()
+		f.emit(uop.UOp{Op: uop.LIMM, Dest: ret, Imm: int32(pc) + int32(in.Len)})
+		push(ret)
+		switch in.Dst.Kind {
+		case x86.KindImm:
+			f.emit(uop.UOp{Op: uop.JMP, Imm: int32(in.TargetPC(pc))})
+		case x86.KindReg:
+			f.emit(uop.UOp{Op: uop.JR, SrcA: uop.FromX86(in.Dst.Reg)})
+		case x86.KindMem:
+			v := f.value(in.Dst)
+			f.emit(uop.UOp{Op: uop.JR, SrcA: v})
+		}
+
+	case x86.OpRET:
+		t := f.temp()
+		f.emit(uop.UOp{Op: uop.LOAD, Dest: t, SrcA: esp, SrcB: uop.RegNone, Imm: 0})
+		pop := int32(wordSize)
+		if in.Dst.Kind == x86.KindImm {
+			pop += in.Dst.Imm
+		}
+		f.emit(uop.UOp{Op: uop.ADD, Dest: esp, SrcA: esp, SrcB: uop.RegNone, Imm: pop})
+		f.emit(uop.UOp{Op: uop.JR, SrcA: t})
+
+	default:
+		return nil, fmt.Errorf("translate: unsupported %s", in)
+	}
+	return f.ops, nil
+}

@@ -1,0 +1,201 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/uop"
+	"repro/internal/x86"
+)
+
+func mustUOps(t *testing.T, in x86.Inst, pc uint32) []uop.UOp {
+	t.Helper()
+	enc, err := x86.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Len = len(enc)
+	us, err := UOps(in, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return us
+}
+
+func ops(us []uop.UOp) []uop.Op {
+	out := make([]uop.Op, len(us))
+	for i, u := range us {
+		out[i] = u.Op
+	}
+	return out
+}
+
+func eqOps(a []uop.Op, b ...uop.Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFlowShapes checks the micro-op decomposition of the key flows,
+// matching the paper's Figure 2 flows where shown.
+func TestFlowShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   x86.Inst
+		want []uop.Op
+	}{
+		{"push reg", x86.Inst{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP)},
+			[]uop.Op{uop.STORE, uop.SUB}},
+		{"pop reg", x86.Inst{Op: x86.OpPOP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)},
+			[]uop.Op{uop.LOAD, uop.ADD}},
+		{"mov r,m", x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX), Src: x86.Mem(x86.ESP, 12)},
+			[]uop.Op{uop.LOAD}},
+		{"mov r,m indexed", x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX), Src: x86.MemIdx(x86.EBX, x86.ESI, 4, 8)},
+			[]uop.Op{uop.LOAD}}, // full addressing: no LEA needed
+		{"mov m,r indexed", x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.MemIdx(x86.EBX, x86.ESI, 4, 8), Src: x86.RegOp(x86.EAX)},
+			[]uop.Op{uop.LEA, uop.STORE}}, // stores need the address materialized
+		{"alu r,r", x86.Inst{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)},
+			[]uop.Op{uop.ADD}},
+		{"alu m,r", x86.Inst{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.Mem(x86.EDI, 0), Src: x86.RegOp(x86.EBX)},
+			[]uop.Op{uop.LOAD, uop.ADD, uop.STORE}},
+		{"cmp", x86.Inst{Op: x86.OpCMP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(5)},
+			[]uop.Op{uop.SUB}},
+		{"jcc", x86.Inst{Op: x86.OpJCC, Cond: x86.CondE, Dst: x86.ImmOp(8)},
+			[]uop.Op{uop.BR}},
+		{"call rel", x86.Inst{Op: x86.OpCALL, Cond: x86.CondNone, Dst: x86.ImmOp(0x40)},
+			[]uop.Op{uop.LIMM, uop.STORE, uop.SUB, uop.JMP}},
+		{"ret", x86.Inst{Op: x86.OpRET, Cond: x86.CondNone},
+			[]uop.Op{uop.LOAD, uop.ADD, uop.JR}},
+		{"leave", x86.Inst{Op: x86.OpLEAVE, Cond: x86.CondNone},
+			[]uop.Op{uop.MOV, uop.LOAD, uop.ADD}},
+		{"mul", x86.Inst{Op: x86.OpMUL, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX)},
+			[]uop.Op{uop.MULLO, uop.MULHIU, uop.MOV}},
+		{"div", x86.Inst{Op: x86.OpDIV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)},
+			[]uop.Op{uop.DIVU, uop.REMU, uop.MOV}},
+		{"cdq", x86.Inst{Op: x86.OpCDQ, Cond: x86.CondNone},
+			[]uop.Op{uop.SAR}},
+		{"nop", x86.Inst{Op: x86.OpNOP, Cond: x86.CondNone},
+			[]uop.Op{uop.NOP}},
+		{"xchg rr", x86.Inst{Op: x86.OpXCHG, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)},
+			[]uop.Op{uop.MOV, uop.MOV, uop.MOV}},
+		{"cmov", x86.Inst{Op: x86.OpCMOV, Cond: x86.CondGE, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.ECX)},
+			[]uop.Op{uop.SELECT}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			us := mustUOps(t, tt.in, 0x1000)
+			if !eqOps(ops(us), tt.want...) {
+				t.Errorf("flow = %v, want %v", ops(us), tt.want)
+			}
+		})
+	}
+}
+
+// TestPushFlowMatchesPaper: PUSH EBP must produce exactly the paper's
+// micro-ops 01-02: store at [ESP-4], then ESP decrement without flags.
+func TestPushFlowMatchesPaper(t *testing.T) {
+	us := mustUOps(t, x86.Inst{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBP)}, 0)
+	st, sub := us[0], us[1]
+	if st.SrcA != uop.ESP || st.SrcB != uop.EBP || st.Imm != -4 {
+		t.Errorf("store = %s", st)
+	}
+	if sub.Dest != uop.ESP || sub.Imm != 4 || sub.WritesFlags {
+		t.Errorf("esp update = %s", sub)
+	}
+}
+
+// TestBranchTargetsAbsolute: control-flow micro-ops carry absolute targets.
+func TestBranchTargetsAbsolute(t *testing.T) {
+	in := x86.Inst{Op: x86.OpJCC, Cond: x86.CondNE, Dst: x86.ImmOp(0x10)}
+	us := mustUOps(t, in, 0x2000)
+	want := uint32(0x2000) + 2 + 0x10 // rel8 encoding is 2 bytes
+	if uint32(us[0].Imm) != want {
+		t.Errorf("BR target = %#x, want %#x", uint32(us[0].Imm), want)
+	}
+	in = x86.Inst{Op: x86.OpCALL, Cond: x86.CondNone, Dst: x86.ImmOp(0x100)}
+	us = mustUOps(t, in, 0x3000)
+	jmp := us[len(us)-1]
+	if uint32(jmp.Imm) != 0x3000+5+0x100 {
+		t.Errorf("CALL target = %#x", uint32(jmp.Imm))
+	}
+	// The pushed return address is the fall-through PC.
+	if us[0].Op != uop.LIMM || uint32(us[0].Imm) != 0x3000+5 {
+		t.Errorf("return address = %s", us[0])
+	}
+}
+
+// TestCMPWritesNoRegister: compares produce flags only.
+func TestCMPWritesNoRegister(t *testing.T) {
+	us := mustUOps(t, x86.Inst{Op: x86.OpCMP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)}, 0)
+	if us[0].DestReg() != uop.RegNone || !us[0].WritesFlags {
+		t.Errorf("CMP uop = %s", us[0])
+	}
+}
+
+// TestINCKeepsCF: the INC flow carries the carry-preserving flag-write.
+func TestINCKeepsCF(t *testing.T) {
+	us := mustUOps(t, x86.Inst{Op: x86.OpINC, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX)}, 0)
+	if !us[0].KeepCF || !us[0].WritesFlags {
+		t.Errorf("INC uop = %s", us[0])
+	}
+}
+
+// TestUOpRatio: over a representative instruction mix the flow averages
+// close to the paper's reported 1.4 micro-ops per x86 instruction.
+func TestUOpRatio(t *testing.T) {
+	// Weighted mix approximating compiled integer code.
+	mix := []struct {
+		in x86.Inst
+		w  int
+	}{
+		{x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.Mem(x86.EBP, -8)}, 16},
+		{x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.Mem(x86.EBP, -8), Src: x86.RegOp(x86.EAX)}, 9},
+		{x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.ECX)}, 10},
+		{x86.Inst{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)}, 18},
+		{x86.Inst{Op: x86.OpCMP, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)}, 8},
+		{x86.Inst{Op: x86.OpJCC, Cond: x86.CondE, Dst: x86.ImmOp(4)}, 12},
+		{x86.Inst{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.RegOp(x86.ESI)}, 5},
+		{x86.Inst{Op: x86.OpPOP, Cond: x86.CondNone, Dst: x86.RegOp(x86.ESI)}, 5},
+		{x86.Inst{Op: x86.OpCALL, Cond: x86.CondNone, Dst: x86.ImmOp(0x100)}, 3},
+		{x86.Inst{Op: x86.OpRET, Cond: x86.CondNone}, 3},
+		{x86.Inst{Op: x86.OpLEA, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.MemIdx(x86.EBX, x86.ESI, 4, 4)}, 4},
+		{x86.Inst{Op: x86.OpTEST, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EAX)}, 5},
+		{x86.Inst{Op: x86.OpADD, Cond: x86.CondNone, Dst: x86.Mem(x86.EDI, 0), Src: x86.ImmOp(1)}, 2},
+	}
+	insts, uops := 0, 0
+	for _, m := range mix {
+		us := mustUOps(t, m.in, 0x1000)
+		insts += m.w
+		uops += m.w * len(us)
+	}
+	ratio := float64(uops) / float64(insts)
+	if ratio < 1.2 || ratio > 1.6 {
+		t.Errorf("micro-op ratio = %.2f, want ~1.4", ratio)
+	}
+	t.Logf("micro-op ratio = %.2f", ratio)
+}
+
+// TestTempDiscipline: flows never exceed the translator temporaries and
+// never write a GPR through a temp slot.
+func TestTempDiscipline(t *testing.T) {
+	all := []x86.Inst{
+		{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: x86.Mem(x86.EBX, 4)},
+		{Op: x86.OpPOP, Cond: x86.CondNone, Dst: x86.Mem(x86.EBX, 4)},
+		{Op: x86.OpCALL, Cond: x86.CondNone, Dst: x86.MemIdx(x86.EBX, x86.ESI, 4, 0)},
+		{Op: x86.OpIMUL, Cond: x86.CondNone, Dst: x86.Mem(x86.EBX, 0)},
+		{Op: x86.OpXCHG, Cond: x86.CondNone, Dst: x86.Mem(x86.EBX, 0), Src: x86.RegOp(x86.EAX)},
+	}
+	for _, in := range all {
+		us := mustUOps(t, in, 0)
+		for _, u := range us {
+			if d := u.DestReg(); d != uop.RegNone && !d.IsGPR() && !d.IsTemp() && d != uop.FLAGS {
+				t.Errorf("%s: bad dest %s", in, d)
+			}
+		}
+	}
+}

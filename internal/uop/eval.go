@@ -1,0 +1,267 @@
+package uop
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/x86"
+)
+
+// ErrDivideByZero reports a divide micro-op with a zero divisor.
+var ErrDivideByZero = errors.New("uop: divide by zero")
+
+// Outcome describes the externally visible result of evaluating one
+// micro-op: control redirection, assertion firing, and memory activity.
+type Outcome struct {
+	// Redirect is set for a taken JMP/JR/BR; Target is the new PC.
+	Redirect bool
+	Target   uint32
+
+	// AssertFired is set when an ASSERT/CASSERT condition failed.
+	AssertFired bool
+
+	// IsMem/IsStore describe memory activity; MemAddr is the effective
+	// address, StoreVal the value written (stores only).
+	IsMem    bool
+	IsStore  bool
+	MemAddr  uint32
+	StoreVal uint32
+}
+
+// parity returns the x86 parity flag for the low byte of v (set when the
+// number of 1 bits is even).
+func parity(v uint32) bool { return bits.OnesCount8(uint8(v))%2 == 0 }
+
+// szpFlags computes SF, ZF and PF from a result.
+func szpFlags(r uint32) x86.Flags {
+	var f x86.Flags
+	if r == 0 {
+		f |= x86.FlagZ
+	}
+	if r&0x8000_0000 != 0 {
+		f |= x86.FlagS
+	}
+	if parity(r) {
+		f |= x86.FlagP
+	}
+	return f
+}
+
+// addFlags computes the flags of r = a + b + carryIn.
+func addFlags(a, b uint32, carryIn bool) x86.Flags {
+	c := uint64(0)
+	if carryIn {
+		c = 1
+	}
+	wide := uint64(a) + uint64(b) + c
+	r := uint32(wide)
+	f := szpFlags(r)
+	if wide>>32 != 0 {
+		f |= x86.FlagC
+	}
+	if (^(a ^ b) & (a ^ r) & 0x8000_0000) != 0 {
+		f |= x86.FlagO
+	}
+	return f
+}
+
+// subFlags computes the flags of r = a - b - borrowIn.
+func subFlags(a, b uint32, borrowIn bool) x86.Flags {
+	c := uint64(0)
+	if borrowIn {
+		c = 1
+	}
+	wide := uint64(a) - uint64(b) - c
+	r := uint32(wide)
+	f := szpFlags(r)
+	if wide>>32 != 0 { // borrow out
+		f |= x86.FlagC
+	}
+	if ((a ^ b) & (a ^ r) & 0x8000_0000) != 0 {
+		f |= x86.FlagO
+	}
+	return f
+}
+
+// logicFlags computes the flags of a logical result (CF = OF = 0).
+func logicFlags(r uint32) x86.Flags { return szpFlags(r) }
+
+// Eval functionally evaluates one micro-op against register state r and
+// memory mem, applying its register and memory effects.
+//
+// Flag semantics follow the documented reproduction spec (DESIGN.md):
+// multiply/divide micro-ops never write flags, shift-by-zero leaves flags
+// unchanged, and KeepCF micro-ops (x86 INC/DEC flows) preserve the
+// incoming carry.
+func Eval(u UOp, r *Regs, mem Memory) (Outcome, error) {
+	var out Outcome
+	a := r.Get(u.SrcA)
+	b := u.operandB(r)
+
+	setResult := func(v uint32, f x86.Flags, haveFlags bool) {
+		r.Set(u.Dest, v)
+		if u.WritesFlags && haveFlags {
+			if u.KeepCF {
+				f = (f &^ x86.FlagC) | (r.Flags() & x86.FlagC)
+			}
+			r.SetFlags(f)
+		}
+	}
+
+	switch u.Op {
+	case NOP:
+	case LIMM:
+		r.Set(u.Dest, uint32(u.Imm))
+	case MOV:
+		r.Set(u.Dest, a)
+	case ADD:
+		setResult(a+b, addFlags(a, b, false), true)
+	case ADC:
+		cin := r.Flags()&x86.FlagC != 0
+		v := a + b
+		if cin {
+			v++
+		}
+		setResult(v, addFlags(a, b, cin), true)
+	case SUB:
+		setResult(a-b, subFlags(a, b, false), true)
+	case SBB:
+		bin := r.Flags()&x86.FlagC != 0
+		v := a - b
+		if bin {
+			v--
+		}
+		setResult(v, subFlags(a, b, bin), true)
+	case AND:
+		v := a & b
+		setResult(v, logicFlags(v), true)
+	case OR:
+		v := a | b
+		setResult(v, logicFlags(v), true)
+	case XOR:
+		v := a ^ b
+		setResult(v, logicFlags(v), true)
+	case SHL:
+		n := b & 31
+		if n == 0 {
+			r.Set(u.Dest, a)
+			break
+		}
+		v := a << n
+		f := szpFlags(v)
+		if a&(1<<(32-n)) != 0 {
+			f |= x86.FlagC
+		}
+		if (v&0x8000_0000 != 0) != (f&x86.FlagC != 0) {
+			f |= x86.FlagO
+		}
+		setResult(v, f, true)
+	case SHR:
+		n := b & 31
+		if n == 0 {
+			r.Set(u.Dest, a)
+			break
+		}
+		v := a >> n
+		f := szpFlags(v)
+		if a&(1<<(n-1)) != 0 {
+			f |= x86.FlagC
+		}
+		if a&0x8000_0000 != 0 {
+			f |= x86.FlagO
+		}
+		setResult(v, f, true)
+	case SAR:
+		n := b & 31
+		if n == 0 {
+			r.Set(u.Dest, a)
+			break
+		}
+		v := uint32(int32(a) >> n)
+		f := szpFlags(v)
+		if a&(1<<(n-1)) != 0 {
+			f |= x86.FlagC
+		}
+		setResult(v, f, true)
+	case MULLO:
+		r.Set(u.Dest, a*b)
+	case MULHIU:
+		hi, _ := bits.Mul32(a, b)
+		r.Set(u.Dest, hi)
+	case MULHIS:
+		r.Set(u.Dest, uint32((int64(int32(a))*int64(int32(b)))>>32))
+	case DIVU:
+		if b == 0 {
+			return out, fmt.Errorf("%w: %s", ErrDivideByZero, u)
+		}
+		r.Set(u.Dest, a/b)
+	case REMU:
+		if b == 0 {
+			return out, fmt.Errorf("%w: %s", ErrDivideByZero, u)
+		}
+		r.Set(u.Dest, a%b)
+	case DIVS:
+		if b == 0 {
+			return out, fmt.Errorf("%w: %s", ErrDivideByZero, u)
+		}
+		r.Set(u.Dest, uint32(int32(a)/int32(b)))
+	case REMS:
+		if b == 0 {
+			return out, fmt.Errorf("%w: %s", ErrDivideByZero, u)
+		}
+		r.Set(u.Dest, uint32(int32(a)%int32(b)))
+	case LEA:
+		v := a + uint32(u.Imm)
+		if u.SrcB != RegNone {
+			v += r.Get(u.SrcB) * uint32(u.Scale)
+		}
+		r.Set(u.Dest, v)
+	case SELECT:
+		v := r.Get(u.SrcB)
+		if u.Cond.Eval(r.Flags()) {
+			v = a
+		}
+		r.Set(u.Dest, v)
+	case LOAD:
+		addr := a + uint32(u.Imm)
+		if u.SrcB != RegNone {
+			addr += r.Get(u.SrcB) * uint32(u.Scale)
+		}
+		out.IsMem, out.MemAddr = true, addr
+		r.Set(u.Dest, mem.Load32(addr))
+	case STORE:
+		addr := a + uint32(u.Imm)
+		v := r.Get(u.SrcB)
+		out.IsMem, out.IsStore, out.MemAddr, out.StoreVal = true, true, addr, v
+		mem.Store32(addr, v)
+	case JMP:
+		out.Redirect, out.Target = true, uint32(u.Imm)
+	case JR:
+		out.Redirect, out.Target = true, a
+	case BR:
+		if u.Cond.Eval(r.Flags()) {
+			out.Redirect, out.Target = true, uint32(u.Imm)
+		}
+	case ASSERT:
+		if !u.Cond.Eval(r.Flags()) {
+			out.AssertFired = true
+		}
+	case CASSERT:
+		f := subFlags(a, b, false)
+		if !u.Cond.Eval(f) {
+			out.AssertFired = true
+		}
+	default:
+		return out, fmt.Errorf("uop: cannot evaluate op %s", u.Op)
+	}
+	return out, nil
+}
+
+// operandB returns the second operand: srcB if present, else the immediate.
+func (u UOp) operandB(r *Regs) uint32 {
+	if u.SrcB != RegNone {
+		return r.Get(u.SrcB)
+	}
+	return uint32(u.Imm)
+}

@@ -1,0 +1,423 @@
+package uop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/x86"
+)
+
+func evalOne(t *testing.T, u UOp, setup func(*Regs)) (*Regs, MapMemory, Outcome) {
+	t.Helper()
+	r := &Regs{}
+	if setup != nil {
+		setup(r)
+	}
+	mem := MapMemory{}
+	out, err := Eval(u, r, mem)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", u, err)
+	}
+	return r, mem, out
+}
+
+func TestEvalBasicALU(t *testing.T) {
+	cases := []struct {
+		name  string
+		u     UOp
+		a, b  uint32
+		want  uint32
+		flags x86.Flags
+	}{
+		{"add", UOp{Op: ADD, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true}, 2, 3, 5, x86.FlagP},
+		{"add carry", UOp{Op: ADD, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true},
+			0xFFFFFFFF, 1, 0, x86.FlagC | x86.FlagZ | x86.FlagP},
+		{"add overflow", UOp{Op: ADD, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true},
+			0x7FFFFFFF, 1, 0x80000000, x86.FlagS | x86.FlagO | x86.FlagP},
+		{"sub", UOp{Op: SUB, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true}, 5, 3, 2, 0},
+		{"sub borrow", UOp{Op: SUB, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true},
+			3, 5, 0xFFFFFFFE, x86.FlagC | x86.FlagS},
+		{"sub zero", UOp{Op: SUB, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true},
+			7, 7, 0, x86.FlagZ | x86.FlagP},
+		{"and", UOp{Op: AND, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true}, 0xF0, 0x3C, 0x30, x86.FlagP},
+		{"xor self", UOp{Op: XOR, Dest: EAX, SrcA: EBX, SrcB: EBX, WritesFlags: true},
+			0xDEADBEEF, 0, 0, x86.FlagZ | x86.FlagP},
+		{"or", UOp{Op: OR, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true}, 1, 2, 3, x86.FlagP},
+		{"mullo", UOp{Op: MULLO, Dest: EAX, SrcA: EBX, SrcB: ECX}, 6, 7, 42, 0},
+		{"imm operand", UOp{Op: ADD, Dest: EAX, SrcA: EBX, SrcB: RegNone, Imm: 10, WritesFlags: true}, 5, 0, 15, x86.FlagP},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			r, _, _ := evalOne(t, tt.u, func(r *Regs) {
+				r.Set(EBX, tt.a)
+				if tt.u.SrcB == ECX {
+					r.Set(ECX, tt.b)
+				}
+			})
+			if got := r.Get(EAX); got != tt.want {
+				t.Errorf("result = %#x, want %#x", got, tt.want)
+			}
+			if tt.u.WritesFlags {
+				if got := r.Flags(); got != tt.flags {
+					t.Errorf("flags = %s, want %s", got, tt.flags)
+				}
+			}
+		})
+	}
+}
+
+func TestEvalXorSelfIsZeroIdiom(t *testing.T) {
+	// XOR EAX, EAX must produce 0 and set ZF regardless of prior value —
+	// the canonical x86 zeroing idiom from the paper's Figure 2 (uop 07).
+	r, _, _ := evalOne(t, UOp{Op: XOR, Dest: EAX, SrcA: EAX, SrcB: EAX, WritesFlags: true},
+		func(r *Regs) { r.Set(EAX, 12345) })
+	if r.Get(EAX) != 0 || r.Flags()&x86.FlagZ == 0 {
+		t.Errorf("got EAX=%#x flags=%s", r.Get(EAX), r.Flags())
+	}
+}
+
+func TestEvalADCSBB(t *testing.T) {
+	u := UOp{Op: ADC, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true}
+	r, _, _ := evalOne(t, u, func(r *Regs) {
+		r.Set(EBX, 10)
+		r.Set(ECX, 20)
+		r.SetFlags(x86.FlagC)
+	})
+	if got := r.Get(EAX); got != 31 {
+		t.Errorf("ADC = %d, want 31", got)
+	}
+	u = UOp{Op: SBB, Dest: EAX, SrcA: EBX, SrcB: ECX, WritesFlags: true}
+	r, _, _ = evalOne(t, u, func(r *Regs) {
+		r.Set(EBX, 10)
+		r.Set(ECX, 3)
+		r.SetFlags(x86.FlagC)
+	})
+	if got := r.Get(EAX); got != 6 {
+		t.Errorf("SBB = %d, want 6", got)
+	}
+}
+
+func TestEvalKeepCF(t *testing.T) {
+	// x86 INC semantics: all flags except CF.
+	u := UOp{Op: ADD, Dest: EAX, SrcA: EAX, SrcB: RegNone, Imm: 1, WritesFlags: true, KeepCF: true}
+	r, _, _ := evalOne(t, u, func(r *Regs) {
+		r.Set(EAX, 0xFFFFFFFF)
+		r.SetFlags(0) // CF clear
+	})
+	if r.Get(EAX) != 0 {
+		t.Errorf("INC wrapped to %#x", r.Get(EAX))
+	}
+	if r.Flags()&x86.FlagC != 0 {
+		t.Error("INC must not set CF")
+	}
+	if r.Flags()&x86.FlagZ == 0 {
+		t.Error("INC must set ZF on wrap to zero")
+	}
+	// And it must preserve a set CF.
+	r, _, _ = evalOne(t, u, func(r *Regs) {
+		r.Set(EAX, 5)
+		r.SetFlags(x86.FlagC)
+	})
+	if r.Flags()&x86.FlagC == 0 {
+		t.Error("INC must preserve set CF")
+	}
+}
+
+func TestEvalShifts(t *testing.T) {
+	cases := []struct {
+		op    Op
+		a     uint32
+		n     int32
+		want  uint32
+		carry bool
+	}{
+		{SHL, 1, 4, 16, false},
+		{SHL, 0x80000000, 1, 0, true},
+		{SHR, 16, 4, 1, false},
+		{SHR, 3, 1, 1, true},
+		{SAR, 0x80000000, 31, 0xFFFFFFFF, false},
+		{SAR, 5, 1, 2, true},
+	}
+	for _, tt := range cases {
+		u := UOp{Op: tt.op, Dest: EAX, SrcA: EAX, SrcB: RegNone, Imm: tt.n, WritesFlags: true}
+		r, _, _ := evalOne(t, u, func(r *Regs) { r.Set(EAX, tt.a) })
+		if got := r.Get(EAX); got != tt.want {
+			t.Errorf("%s %#x by %d = %#x, want %#x", tt.op, tt.a, tt.n, got, tt.want)
+		}
+		if got := r.Flags()&x86.FlagC != 0; got != tt.carry {
+			t.Errorf("%s %#x by %d carry = %v, want %v", tt.op, tt.a, tt.n, got, tt.carry)
+		}
+	}
+	// Shift by zero leaves flags unchanged.
+	u := UOp{Op: SHL, Dest: EAX, SrcA: EAX, SrcB: RegNone, Imm: 0, WritesFlags: true}
+	r, _, _ := evalOne(t, u, func(r *Regs) {
+		r.Set(EAX, 7)
+		r.SetFlags(x86.FlagC | x86.FlagZ)
+	})
+	if r.Flags() != x86.FlagC|x86.FlagZ {
+		t.Errorf("shift by 0 changed flags to %s", r.Flags())
+	}
+}
+
+func TestEvalMulDiv(t *testing.T) {
+	r, _, _ := evalOne(t, UOp{Op: MULHIU, Dest: EDX, SrcA: EAX, SrcB: EBX}, func(r *Regs) {
+		r.Set(EAX, 0xFFFFFFFF)
+		r.Set(EBX, 2)
+	})
+	if got := r.Get(EDX); got != 1 {
+		t.Errorf("MULHIU = %d, want 1", got)
+	}
+	r, _, _ = evalOne(t, UOp{Op: MULHIS, Dest: EDX, SrcA: EAX, SrcB: EBX}, func(r *Regs) {
+		r.Set(EAX, ^uint32(1))
+		r.Set(EBX, 3)
+	})
+	if got := int32(r.Get(EDX)); got != -1 {
+		t.Errorf("MULHIS = %d, want -1", got)
+	}
+	r, _, _ = evalOne(t, UOp{Op: DIVS, Dest: EAX, SrcA: EAX, SrcB: EBX}, func(r *Regs) {
+		r.Set(EAX, ^uint32(6))
+		r.Set(EBX, 2)
+	})
+	if got := int32(r.Get(EAX)); got != -3 {
+		t.Errorf("DIVS = %d, want -3 (truncation toward zero)", got)
+	}
+	r, _, _ = evalOne(t, UOp{Op: REMS, Dest: EDX, SrcA: EAX, SrcB: EBX}, func(r *Regs) {
+		r.Set(EAX, ^uint32(6))
+		r.Set(EBX, 2)
+	})
+	if got := int32(r.Get(EDX)); got != -1 {
+		t.Errorf("REMS = %d, want -1", got)
+	}
+	for _, op := range []Op{DIVU, REMU, DIVS, REMS} {
+		u := UOp{Op: op, Dest: EAX, SrcA: EAX, SrcB: EBX}
+		regs := &Regs{}
+		regs.Set(EAX, 1)
+		if _, err := Eval(u, regs, MapMemory{}); err == nil {
+			t.Errorf("%s by zero did not error", op)
+		}
+	}
+}
+
+func TestEvalLEA(t *testing.T) {
+	u := UOp{Op: LEA, Dest: EAX, SrcA: EBX, SrcB: ECX, Scale: 4, Imm: 8}
+	r, _, _ := evalOne(t, u, func(r *Regs) {
+		r.Set(EBX, 0x1000)
+		r.Set(ECX, 3)
+		r.SetFlags(x86.FlagC)
+	})
+	if got := r.Get(EAX); got != 0x1000+12+8 {
+		t.Errorf("LEA = %#x", got)
+	}
+	if r.Flags() != x86.FlagC {
+		t.Error("LEA must not touch flags")
+	}
+}
+
+func TestEvalSelect(t *testing.T) {
+	u := UOp{Op: SELECT, Cond: x86.CondE, Dest: EAX, SrcA: EBX, SrcB: ECX}
+	r, _, _ := evalOne(t, u, func(r *Regs) {
+		r.Set(EBX, 111)
+		r.Set(ECX, 222)
+		r.SetFlags(x86.FlagZ)
+	})
+	if got := r.Get(EAX); got != 111 {
+		t.Errorf("SELECT taken = %d, want 111", got)
+	}
+	r, _, _ = evalOne(t, u, func(r *Regs) {
+		r.Set(EBX, 111)
+		r.Set(ECX, 222)
+	})
+	if got := r.Get(EAX); got != 222 {
+		t.Errorf("SELECT not taken = %d, want 222", got)
+	}
+}
+
+func TestEvalMemory(t *testing.T) {
+	store := UOp{Op: STORE, SrcA: ESP, SrcB: EBX, Imm: -4}
+	r := &Regs{}
+	r.Set(ESP, 0x8000)
+	r.Set(EBX, 0xCAFE)
+	mem := MapMemory{}
+	out, err := Eval(store, r, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsMem || !out.IsStore || out.MemAddr != 0x7FFC || out.StoreVal != 0xCAFE {
+		t.Errorf("store outcome = %+v", out)
+	}
+	if mem[0x7FFC] != 0xCAFE {
+		t.Errorf("memory = %#x", mem[0x7FFC])
+	}
+	load := UOp{Op: LOAD, Dest: ECX, SrcA: ESP, SrcB: RegNone, Imm: -4}
+	out, err = Eval(load, r, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IsStore || out.MemAddr != 0x7FFC {
+		t.Errorf("load outcome = %+v", out)
+	}
+	if r.Get(ECX) != 0xCAFE {
+		t.Errorf("loaded %#x", r.Get(ECX))
+	}
+	// Absolute addressing.
+	abs := UOp{Op: LOAD, Dest: EDX, SrcA: RegNone, SrcB: RegNone, Imm: 0x7FFC}
+	if _, err := Eval(abs, r, mem); err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(EDX) != 0xCAFE {
+		t.Errorf("absolute load = %#x", r.Get(EDX))
+	}
+}
+
+func TestEvalControl(t *testing.T) {
+	r := &Regs{}
+	out, _ := Eval(UOp{Op: JMP, Imm: 0x4000}, r, nil)
+	if !out.Redirect || out.Target != 0x4000 {
+		t.Errorf("JMP outcome = %+v", out)
+	}
+	r.Set(EAX, 0x5000)
+	out, _ = Eval(UOp{Op: JR, SrcA: EAX}, r, nil)
+	if !out.Redirect || out.Target != 0x5000 {
+		t.Errorf("JR outcome = %+v", out)
+	}
+	r.SetFlags(x86.FlagZ)
+	out, _ = Eval(UOp{Op: BR, Cond: x86.CondE, Imm: 0x6000}, r, nil)
+	if !out.Redirect || out.Target != 0x6000 {
+		t.Errorf("taken BR outcome = %+v", out)
+	}
+	out, _ = Eval(UOp{Op: BR, Cond: x86.CondNE, Imm: 0x6000}, r, nil)
+	if out.Redirect {
+		t.Errorf("not-taken BR redirected: %+v", out)
+	}
+}
+
+func TestEvalAssert(t *testing.T) {
+	r := &Regs{}
+	r.SetFlags(x86.FlagZ)
+	out, _ := Eval(UOp{Op: ASSERT, Cond: x86.CondE}, r, nil)
+	if out.AssertFired {
+		t.Error("holding assertion fired")
+	}
+	out, _ = Eval(UOp{Op: ASSERT, Cond: x86.CondNE}, r, nil)
+	if !out.AssertFired {
+		t.Error("violated assertion did not fire")
+	}
+	// CASSERT: assert EBX == 7.
+	r.Set(EBX, 7)
+	out, _ = Eval(UOp{Op: CASSERT, Cond: x86.CondE, SrcA: EBX, SrcB: RegNone, Imm: 7}, r, nil)
+	if out.AssertFired {
+		t.Error("CASSERT equal fired")
+	}
+	out, _ = Eval(UOp{Op: CASSERT, Cond: x86.CondE, SrcA: EBX, SrcB: RegNone, Imm: 8}, r, nil)
+	if !out.AssertFired {
+		t.Error("CASSERT unequal did not fire")
+	}
+	// Signed comparison assert.
+	r.Set(ECX, ^uint32(0))
+	out, _ = Eval(UOp{Op: CASSERT, Cond: x86.CondL, SrcA: ECX, SrcB: RegNone, Imm: 0}, r, nil)
+	if out.AssertFired {
+		t.Error("-1 < 0 assert fired")
+	}
+}
+
+func TestReadsFlags(t *testing.T) {
+	cases := []struct {
+		u    UOp
+		want bool
+	}{
+		{UOp{Op: ADD}, false},
+		{UOp{Op: ADC}, true},
+		{UOp{Op: SBB}, true},
+		{UOp{Op: BR}, true},
+		{UOp{Op: ASSERT}, true},
+		{UOp{Op: SELECT}, true},
+		{UOp{Op: CASSERT}, false}, // compares registers, not flags
+		{UOp{Op: ADD, WritesFlags: true, KeepCF: true}, true},
+		{UOp{Op: LOAD}, false},
+	}
+	for _, tt := range cases {
+		if got := tt.u.ReadsFlags(); got != tt.want {
+			t.Errorf("%s ReadsFlags = %v, want %v", tt.u.Op, got, tt.want)
+		}
+	}
+}
+
+func TestRegStrings(t *testing.T) {
+	if EAX.String() != "EAX" || FLAGS.String() != "FLAGS" || ET0.String() != "ET0" {
+		t.Error("register names wrong")
+	}
+	if Reg(ET0+3).String() != "ET3" {
+		t.Error("temp naming wrong")
+	}
+}
+
+// TestEvalDeterministic: evaluating the same micro-op on the same state
+// twice produces identical results — required by the replaying verifier.
+func TestEvalDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ops := []Op{ADD, SUB, AND, OR, XOR, SHL, SHR, SAR, MULLO, MULHIU, MULHIS, LEA, MOV, LIMM}
+	f := func() bool {
+		u := UOp{
+			Op:          ops[r.Intn(len(ops))],
+			Dest:        Reg(r.Intn(8)),
+			SrcA:        Reg(r.Intn(8)),
+			SrcB:        Reg(r.Intn(8)),
+			Imm:         int32(r.Uint32()),
+			Scale:       1,
+			WritesFlags: r.Intn(2) == 0,
+		}
+		var init Regs
+		for i := range init.R {
+			init.R[i] = r.Uint32()
+		}
+		init.SetFlags(x86.Flags(r.Uint32()) & x86.FlagMask)
+		r1, r2 := init, init
+		o1, e1 := Eval(u, &r1, MapMemory{})
+		o2, e2 := Eval(u, &r2, MapMemory{})
+		return (e1 == nil) == (e2 == nil) && o1 == o2 && r1 == r2
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddSubInverse: property — ADD then SUB of the same value restores
+// the register (flags aside).
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		r := &Regs{}
+		r.Set(EAX, a)
+		r.Set(EBX, b)
+		add := UOp{Op: ADD, Dest: EAX, SrcA: EAX, SrcB: EBX, WritesFlags: true}
+		sub := UOp{Op: SUB, Dest: EAX, SrcA: EAX, SrcB: EBX, WritesFlags: true}
+		if _, err := Eval(add, r, MapMemory{}); err != nil {
+			return false
+		}
+		if _, err := Eval(sub, r, MapMemory{}); err != nil {
+			return false
+		}
+		return r.Get(EAX) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUOpString(t *testing.T) {
+	cases := []struct {
+		u    UOp
+		want string
+	}{
+		{UOp{Op: STORE, SrcA: ESP, SrcB: EBP, Imm: -4}, "[ESP-0x4] <- EBP"},
+		{UOp{Op: LOAD, Dest: ECX, SrcA: ESP, SrcB: RegNone, Imm: 0xC}, "ECX <- [ESP+0xc]"},
+		{UOp{Op: ASSERT, Cond: x86.CondE}, "assert E"},
+		{UOp{Op: NOP}, "NOP"},
+		{UOp{Op: LIMM, Dest: EAX, Imm: 0}, "EAX <- 0x0"},
+	}
+	for _, tt := range cases {
+		if got := tt.u.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

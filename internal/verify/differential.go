@@ -1,0 +1,136 @@
+// Package verify implements the paper's State Verifier (Section 5.1.3).
+//
+// Its first role — validating the micro-operation decoder — is the
+// differential checker in this file: the functional x86 interpreter
+// (internal/cpu) and a micro-op machine driven by the translator
+// (internal/translate + internal/uop) execute the same program in
+// lockstep, and every instruction's register state, flags, control flow
+// and memory transactions must agree.
+//
+// Its second role — validating the optimizer — is the frame checker in
+// frame.go: each optimized frame replays against trace-derived
+// architectural state and initial/final memory maps.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/translate"
+	"repro/internal/uop"
+	"repro/internal/workload"
+	"repro/internal/x86"
+)
+
+// uopMachine executes the micro-op translation of a program, maintaining
+// its own architectural state and memory.
+type uopMachine struct {
+	regs uop.Regs
+	mem  *cpu.Memory
+	pc   uint32
+}
+
+type memEvent struct {
+	addr, data uint32
+	isStore    bool
+}
+
+// step executes the micro-op flow of the instruction at pc. It returns
+// the memory events, whether the program halted, and the next PC.
+func (m *uopMachine) step() ([]memEvent, bool, error) {
+	in, err := x86.Decode(m.mem.ReadBytes(m.pc, 15))
+	if err != nil {
+		return nil, false, fmt.Errorf("verify: decode at %#x: %w", m.pc, err)
+	}
+	if in.Op == x86.OpHLT {
+		return nil, true, nil
+	}
+	uops, err := translate.UOps(in, m.pc)
+	if err != nil {
+		return nil, false, err
+	}
+	next := m.pc + uint32(in.Len)
+	var events []memEvent
+	for _, u := range uops {
+		out, err := uop.Eval(u, &m.regs, m.mem)
+		if err != nil {
+			return nil, false, fmt.Errorf("verify: at %#x (%s / %s): %w", m.pc, in, u, err)
+		}
+		if out.IsMem {
+			data := out.StoreVal
+			if !out.IsStore {
+				data = m.regs.Get(u.Dest)
+			}
+			events = append(events, memEvent{addr: out.MemAddr, data: data, isStore: out.IsStore})
+		}
+		if out.Redirect {
+			next = out.Target
+		}
+		if out.AssertFired {
+			return nil, false, fmt.Errorf("verify: unexpected assertion in straight translation at %#x", m.pc)
+		}
+	}
+	m.pc = next
+	return events, false, nil
+}
+
+// Differential runs prog on both machines for up to maxSteps instructions
+// and reports the first divergence as an error. It returns the number of
+// instructions compared.
+func Differential(prog *workload.Program, maxSteps int) (int, error) {
+	ref := prog.NewCPU()
+
+	shadow := &uopMachine{mem: cpu.NewMemory(), pc: prog.Entry}
+	shadow.mem.WriteBytes(prog.Base, prog.Code)
+	for _, s := range prog.Data {
+		shadow.mem.WriteBytes(s.Addr, s.Bytes)
+	}
+	shadow.regs.Set(uop.ESP, workload.StackTop)
+
+	for step := 0; step < maxSteps; step++ {
+		if ref.Halted {
+			return step, nil
+		}
+		pc := ref.PC
+		rec, err := ref.Step()
+		if err != nil {
+			return step, fmt.Errorf("reference cpu: %w", err)
+		}
+		events, halted, err := shadow.step()
+		if err != nil {
+			return step, err
+		}
+		if halted != ref.Halted {
+			return step, fmt.Errorf("halt disagreement at %#x (step %d)", pc, step)
+		}
+		if halted {
+			return step + 1, nil
+		}
+		if shadow.pc != ref.PC {
+			return step, fmt.Errorf("PC divergence after %#x (step %d): uop %#x vs cpu %#x",
+				pc, step, shadow.pc, ref.PC)
+		}
+		for r := 0; r < 8; r++ {
+			if shadow.regs.Get(uop.Reg(r)) != ref.Regs[r] {
+				return step, fmt.Errorf("register %s divergence after %#x (step %d): uop %#x vs cpu %#x",
+					x86.Reg(r), pc, step, shadow.regs.Get(uop.Reg(r)), ref.Regs[r])
+			}
+		}
+		if shadow.regs.Flags() != ref.Flags {
+			return step, fmt.Errorf("flags divergence after %#x (step %d): uop %s vs cpu %s",
+				pc, step, shadow.regs.Flags(), ref.Flags)
+		}
+		if len(events) != len(rec.MemOps) {
+			return step, fmt.Errorf("memop count divergence at %#x (step %d): uop %d vs cpu %d",
+				pc, step, len(events), len(rec.MemOps))
+		}
+		for i, e := range events {
+			m := rec.MemOps[i]
+			if e.addr != m.Addr || e.data != m.Data || e.isStore != m.IsStore {
+				return step, fmt.Errorf("memop %d divergence at %#x (step %d): uop %+v vs cpu %+v",
+					i, pc, step, e, m)
+			}
+		}
+	}
+	return maxSteps, nil
+}

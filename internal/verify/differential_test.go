@@ -1,0 +1,55 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDifferentialAllProfiles runs the translator/interpreter lockstep
+// check over a window of every workload profile — the paper's first
+// verifier role, exercised across all 14 applications.
+func TestDifferentialAllProfiles(t *testing.T) {
+	steps := 20_000
+	if testing.Short() {
+		steps = 3_000
+	}
+	for _, p := range workload.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := workload.Generate(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := Differential(prog, steps)
+			if err != nil {
+				t.Fatalf("after %d instructions: %v", n, err)
+			}
+			if n < steps {
+				t.Logf("program halted after %d instructions", n)
+			}
+		})
+	}
+}
+
+// TestDifferentialSecondTraces covers the additional hot-spot traces of
+// the multi-trace applications.
+func TestDifferentialSecondTraces(t *testing.T) {
+	for _, p := range workload.DesktopProfiles() {
+		if p.Traces < 2 {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := workload.Generate(p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, err := Differential(prog, 5_000); err != nil {
+				t.Fatalf("after %d instructions: %v", n, err)
+			}
+		})
+	}
+}

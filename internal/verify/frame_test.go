@@ -1,0 +1,139 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+// TestCheckFramesAllProfiles verifies every optimized frame execution
+// against the reference interpreter on all 14 workloads — the strongest
+// end-to-end validation of the optimizer: asserts fire exactly on path
+// divergence, committed frames reproduce architectural state and stores.
+func TestCheckFramesAllProfiles(t *testing.T) {
+	insts := 40_000
+	if testing.Short() {
+		insts = 8_000
+	}
+	for _, p := range workload.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := workload.Generate(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := CheckFrames(prog, insts, opt.AllOptions, opt.ScopeFrame)
+			if err != nil {
+				t.Fatalf("%v (stats %+v)", err, stats)
+			}
+			if stats.Checked == 0 {
+				t.Error("no frame executions verified")
+			}
+			if stats.UOpsOut >= stats.UOpsIn {
+				t.Errorf("optimizer removed nothing: %d -> %d", stats.UOpsIn, stats.UOpsOut)
+			}
+			t.Logf("insts=%d frames=%d checked=%d aborted=%d uops %d->%d (-%0.1f%%) loads %d->%d (-%0.1f%%)",
+				stats.Insts, stats.Constructed, stats.Checked, stats.Aborted,
+				stats.UOpsIn, stats.UOpsOut,
+				100*float64(stats.UOpsIn-stats.UOpsOut)/float64(stats.UOpsIn),
+				stats.LoadsIn, stats.LoadsOut,
+				100*float64(stats.LoadsIn-stats.LoadsOut)/max1(stats.LoadsIn))
+		})
+	}
+}
+
+func max1(v int) float64 {
+	if v < 1 {
+		return 1
+	}
+	return float64(v)
+}
+
+// TestCheckFramesScopes verifies frame semantics at the two restricted
+// scopes as well (Figure 9's experiment must also be sound).
+func TestCheckFramesScopes(t *testing.T) {
+	for _, scope := range []opt.Scope{opt.ScopeIntraBlock, opt.ScopeInterBlock} {
+		scope := scope
+		for _, name := range []string{"crafty", "excel"} {
+			name := name
+			t.Run(scope.String()+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				p, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := workload.Generate(p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := CheckFrames(prog, 15_000, opt.AllOptions, scope); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckFramesRescheduled verifies that the position-field schedule
+// (Section 4's Cleanup Logic order) preserves frame semantics end to end.
+func TestCheckFramesRescheduled(t *testing.T) {
+	for _, name := range []string{"bzip2", "vortex", "excel"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := workload.Generate(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := CheckFramesRescheduled(prog, 20_000, opt.AllOptions, opt.ScopeFrame)
+			if err != nil {
+				t.Fatalf("%v (stats %+v)", err, stats)
+			}
+			if stats.Checked == 0 {
+				t.Error("nothing verified")
+			}
+		})
+	}
+}
+
+// TestCheckFramesAblations verifies semantics with each optimization
+// disabled in turn (the Figure 10 configurations must all be sound).
+func TestCheckFramesAblations(t *testing.T) {
+	mods := map[string]func(*opt.Options){
+		"noASST": func(o *opt.Options) { o.Assert = false },
+		"noCP":   func(o *opt.Options) { o.CP = false },
+		"noCSE":  func(o *opt.Options) { o.CSE = false },
+		"noNOP":  func(o *opt.Options) { o.NOP = false },
+		"noRA":   func(o *opt.Options) { o.RA = false },
+		"noSF":   func(o *opt.Options) { o.SF = false },
+		"noSpec": func(o *opt.Options) { o.Speculative = false },
+	}
+	p, err := workload.ByName("excel") // exercises aliasing and unsafe stores
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Generate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mod := range mods {
+		name, mod := name, mod
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			optsFn := func() opt.Options {
+				o := opt.AllOptions()
+				mod(&o)
+				return o
+			}
+			if _, err := CheckFrames(prog, 15_000, optsFn, opt.ScopeFrame); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

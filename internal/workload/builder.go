@@ -1,0 +1,156 @@
+// Package workload generates the reproduction's synthetic benchmark
+// programs: real IA-32 machine code with compiler-like idioms, one
+// generator profile per application of the paper's Table 1.
+//
+// The programs are assembled with Builder, executed by the functional
+// interpreter (internal/cpu) and captured as traces (internal/trace) —
+// the substitution for the proprietary AMD hardware traces, as described
+// in DESIGN.md.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// Builder assembles IA-32 programs with symbolic labels. Branches to
+// labels are emitted in their long (rel32) forms and patched when the
+// label resolves.
+type Builder struct {
+	base   uint32
+	code   []byte
+	labels map[string]uint32
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	pos   int // offset of the rel32 field within code
+	end   int // offset just past the instruction (branch origin)
+	label string
+}
+
+// NewBuilder returns a Builder assembling at the given base address.
+func NewBuilder(base uint32) *Builder {
+	return &Builder{base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the address of the next emitted instruction.
+func (b *Builder) PC() uint32 { return b.base + uint32(len(b.code)) }
+
+// Label binds a name to the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail(fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// I emits one instruction.
+func (b *Builder) I(in x86.Inst) {
+	enc, err := x86.Encode(in)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.code = append(b.code, enc...)
+}
+
+// farSentinel forces the long (rel32) encoding of label branches so the
+// displacement can be patched in place.
+const farSentinel = 0x0BADBAD
+
+func (b *Builder) emitLabelBranch(in x86.Inst, label string) {
+	in.Dst = x86.ImmOp(farSentinel)
+	enc, err := x86.Encode(in)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	start := len(b.code)
+	b.code = append(b.code, enc...)
+	b.fixups = append(b.fixups, fixup{pos: start + len(enc) - 4, end: start + len(enc), label: label})
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) {
+	b.emitLabelBranch(x86.Inst{Op: x86.OpJMP, Cond: x86.CondNone}, label)
+}
+
+// Jcc emits a conditional jump to a label.
+func (b *Builder) Jcc(cond x86.Cond, label string) {
+	b.emitLabelBranch(x86.Inst{Op: x86.OpJCC, Cond: cond}, label)
+}
+
+// Call emits a direct call to a label.
+func (b *Builder) Call(label string) {
+	b.emitLabelBranch(x86.Inst{Op: x86.OpCALL, Cond: x86.CondNone}, label)
+}
+
+// Shorthand emitters for common instructions.
+
+// Mov emits MOV dst, src.
+func (b *Builder) Mov(dst, src x86.Operand) {
+	b.I(x86.Inst{Op: x86.OpMOV, Cond: x86.CondNone, Dst: dst, Src: src})
+}
+
+// Lea emits LEA dst, mem.
+func (b *Builder) Lea(dst x86.Reg, mem x86.Operand) {
+	b.I(x86.Inst{Op: x86.OpLEA, Cond: x86.CondNone, Dst: x86.RegOp(dst), Src: mem})
+}
+
+// Alu emits a two-operand ALU instruction.
+func (b *Builder) Alu(op x86.Op, dst, src x86.Operand) {
+	b.I(x86.Inst{Op: op, Cond: x86.CondNone, Dst: dst, Src: src})
+}
+
+// Push emits PUSH op.
+func (b *Builder) Push(op x86.Operand) {
+	b.I(x86.Inst{Op: x86.OpPUSH, Cond: x86.CondNone, Dst: op})
+}
+
+// Pop emits POP op.
+func (b *Builder) Pop(op x86.Operand) {
+	b.I(x86.Inst{Op: x86.OpPOP, Cond: x86.CondNone, Dst: op})
+}
+
+// Ret emits RET.
+func (b *Builder) Ret() {
+	b.I(x86.Inst{Op: x86.OpRET, Cond: x86.CondNone})
+}
+
+// Hlt emits HLT.
+func (b *Builder) Hlt() {
+	b.I(x86.Inst{Op: x86.OpHLT, Cond: x86.CondNone})
+}
+
+// Finalize patches all label branches and returns the program image.
+func (b *Builder) Finalize() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", f.label)
+		}
+		rel := int32(target) - int32(b.base+uint32(f.end))
+		binary.LittleEndian.PutUint32(b.code[f.pos:], uint32(rel))
+	}
+	return b.code, nil
+}
+
+// LabelAddr returns the resolved address of a label.
+func (b *Builder) LabelAddr(name string) (uint32, bool) {
+	a, ok := b.labels[name]
+	return a, ok
+}

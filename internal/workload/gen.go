@@ -1,0 +1,584 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/x86"
+)
+
+// Profile is a workload generator configuration. Each application in the
+// paper's Table 1 maps to one Profile; the knobs shape the micro-op
+// stream's statistical properties (redundancy density, branch bias,
+// dependence chain length, footprint, aliasing) so the optimizer and
+// timing model see the same phenomena the paper reports for that
+// application.
+type Profile struct {
+	Name  string
+	Class string // "SPECint", "Business" or "Content"
+	Seed  int64
+
+	// XInsts is the x86 instruction budget per captured trace (scaled
+	// down from the paper's 50-300M to laptop scale).
+	XInsts int
+	// Traces is the number of distinct hot-spot traces (Table 1 column 4).
+	Traces int
+
+	// Funcs is the number of distinct hot functions (code footprint).
+	Funcs int
+	// BodyStmts is the number of generated statements per loop body.
+	BodyStmts int
+	// LoopTrip is the inner loop trip count.
+	LoopTrip int
+
+	// RedLoads in [0,1] controls the density of spill/reload and
+	// repeated-load idioms (store-forwarding and redundant-load food:
+	// drives the optimizer's load removal).
+	RedLoads float64
+	// RedALU in [0,1] controls the density of recomputed ALU expressions
+	// (CSE food that removes plain micro-ops, not loads).
+	RedALU float64
+	// ChainLen controls the length of constant-offset dependence chains
+	// (reassociation food; also raises tree height without optimization).
+	ChainLen int
+	// InnerBias in [0,1] is the taken probability of data-driven
+	// conditional branches. High bias -> long frames, high coverage.
+	InnerBias float64
+	// HardBranches in [0,1] is the density of near-50/50 branches
+	// (misprediction and frame-termination pressure).
+	HardBranches float64
+	// AliasRate in [0,1] is the probability that a pointer store aliases
+	// a stack local at runtime (unsafe-store abort pressure; the Excel
+	// phenomenon).
+	AliasRate float64
+	// LeafCalls in [0,1] is the density of leaf procedure calls inside
+	// loop bodies (cross-call store forwarding; the Figure 2 pattern).
+	LeafCalls float64
+	// IndirectCalls in [0,1] is the density of indirect calls in the
+	// outer loop (frame terminators unless constant-propagated).
+	IndirectCalls float64
+	// WorkingSet is the global data footprint in bytes.
+	WorkingSet int
+}
+
+const (
+	biasEntries = 4096
+	biasMask    = biasEntries - 1
+	// biasScale is the value range of the driver arrays; thresholds have
+	// 1/biasScale resolution (0.01%), fine enough to express the ~99.95%
+	// biased branches that long atomic frames require.
+	biasScale = 10000
+	// hardBase holds the uncorrelated random array driving hard branches
+	// and aliasing events; the main bias array has run structure so branch
+	// history is learnable, as in real programs.
+	hardBase = BiasBase + 4*biasEntries
+	// Global bookkeeping slots live above both arrays.
+	slotArea = hardBase + 4*biasEntries
+)
+
+// generator carries the state of one program generation.
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+	b   *Builder
+
+	nextSlot  uint32 // next free global bookkeeping slot
+	wsMask    uint32
+	threshold int32 // inner-bias compare threshold (percent)
+
+	// leafSites counts leaf-call statements; each call site gets its own
+	// leaf procedure so return targets stay stable (hot code behaves this
+	// way after inlining and code layout).
+	leafSites int
+	// accCursor rotates the statement accumulator register.
+	accCursor int
+	// carry holds fractional statement quotas across function bodies.
+	carry [numKinds]float64
+}
+
+// slot allocates a 4-byte global bookkeeping slot.
+func (g *generator) slot() uint32 {
+	a := g.nextSlot
+	g.nextSlot += 4
+	return a
+}
+
+// Generate assembles the program for one trace of the profile. The trace
+// index perturbs the seed so multi-trace applications get distinct hot
+// spots, like the paper's per-hot-spot trace files.
+func Generate(p Profile, traceIdx int) (*Program, error) {
+	g := &generator{
+		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed + int64(traceIdx)*7919)),
+		b:        NewBuilder(CodeBase),
+		nextSlot: slotArea,
+	}
+	ws := p.WorkingSet
+	if ws < 256 {
+		ws = 256
+	}
+	// Round the working set to a power of two for cheap index wrapping.
+	g.wsMask = 1
+	for int(g.wsMask) < ws/4 {
+		g.wsMask <<= 1
+	}
+	g.wsMask--
+	g.threshold = int32(p.InnerBias * biasScale)
+
+	prog, err := g.emit(traceIdx)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s trace %d: %w", p.Name, traceIdx, err)
+	}
+	return prog, nil
+}
+
+func (g *generator) emit(traceIdx int) (*Program, error) {
+	b := g.b
+
+	// Entry: jump over the function bodies to main.
+	b.Jmp("main")
+
+	for i := 0; i < g.p.Funcs; i++ {
+		g.hotFunc(i)
+	}
+	g.mainLoop(traceIdx)
+	// Leaf procedures are emitted last, one per call site, so each leaf's
+	// return target is a single stable address.
+	for i := 0; i < g.leafSites; i++ {
+		g.leafFunc(i)
+	}
+
+	code, err := b.Finalize()
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{
+		Name:  fmt.Sprintf("%s.%d", g.p.Name, traceIdx),
+		Base:  CodeBase,
+		Code:  code,
+		Entry: CodeBase,
+	}
+	prog.Data = append(prog.Data, g.biasSegment(), g.tableSegment())
+	return prog, nil
+}
+
+// biasSegment generates the branch-bias driver arrays. The main array
+// (BiasBase) has run structure — stretches of similar values — so that
+// data-driven branch outcomes exhibit the local correlation real programs
+// have and the global-history predictor can train. The hard array
+// (hardBase) is uncorrelated, driving genuinely unpredictable branches
+// and sporadic aliasing events.
+func (g *generator) biasSegment() Segment {
+	rng := rand.New(rand.NewSource(g.p.Seed ^ 0x5eed))
+	bytes := make([]byte, 4*2*biasEntries)
+	put := func(idx int, v uint32) {
+		bytes[4*idx] = byte(v)
+		bytes[4*idx+1] = byte(v >> 8)
+	}
+	i := 0
+	for i < biasEntries {
+		run := 8 + rng.Intn(48)
+		v := uint32(rng.Intn(biasScale))
+		for k := 0; k < run && i < biasEntries; k++ {
+			put(i, v)
+			i++
+		}
+	}
+	for j := 0; j < biasEntries; j++ {
+		put(biasEntries+j, uint32(rng.Intn(biasScale)))
+	}
+	return Segment{Addr: BiasBase, Bytes: bytes}
+}
+
+// tableSegment builds the indirect-call target table from resolved labels.
+func (g *generator) tableSegment() Segment {
+	n := g.p.Funcs
+	bytes := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		addr, ok := g.b.LabelAddr(fmt.Sprintf("f%d", i))
+		if !ok {
+			continue // Finalize will have failed already
+		}
+		bytes[4*i] = byte(addr)
+		bytes[4*i+1] = byte(addr >> 8)
+		bytes[4*i+2] = byte(addr >> 16)
+		bytes[4*i+3] = byte(addr >> 24)
+	}
+	return Segment{Addr: TableBase, Bytes: bytes}
+}
+
+// advanceBias emits the bias-array read idiom, leaving the drawn value
+// (0..99) in EDX. EBX is the bias cursor.
+func (g *generator) advanceBias() { g.advance(int32(BiasBase)) }
+
+// advanceHard draws from the uncorrelated array instead.
+func (g *generator) advanceHard() { g.advance(int32(hardBase)) }
+
+func (g *generator) advance(base int32) {
+	b := g.b
+	b.Mov(x86.RegOp(x86.EDX), x86.MemIdx(x86.RegNone, x86.EBX, 4, base))
+	b.I(x86.Inst{Op: x86.OpINC, Cond: x86.CondNone, Dst: x86.RegOp(x86.EBX)})
+	b.Alu(x86.OpAND, x86.RegOp(x86.EBX), x86.ImmOp(biasMask))
+}
+
+// leafFunc emits a small two-argument leaf procedure modeled on the
+// paper's Figure 2 fragment from crafty.
+func (g *generator) leafFunc(i int) {
+	b := g.b
+	b.Label(fmt.Sprintf("leaf%d", i))
+	b.Push(x86.RegOp(x86.EBP))
+	b.Push(x86.RegOp(x86.EBX))
+	b.Mov(x86.RegOp(x86.ECX), x86.Mem(x86.ESP, 0x0C))
+	b.Mov(x86.RegOp(x86.EBX), x86.Mem(x86.ESP, 0x10))
+	b.Alu(x86.OpXOR, x86.RegOp(x86.EAX), x86.RegOp(x86.EAX))
+	b.Mov(x86.RegOp(x86.EDX), x86.RegOp(x86.ECX))
+	b.Alu(x86.OpOR, x86.RegOp(x86.EDX), x86.RegOp(x86.EBX))
+	skip := fmt.Sprintf("leaf%d.out", i)
+	b.Jcc(x86.CondE, skip) // typically taken: args are usually (0, 0)
+	// Rare path: a little work.
+	b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.RegOp(x86.ECX))
+	b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.RegOp(x86.EBX))
+	b.I(x86.Inst{Op: x86.OpSHL, Cond: x86.CondNone, Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)})
+	b.Label(skip)
+	b.Pop(x86.RegOp(x86.EBX))
+	b.Pop(x86.RegOp(x86.EBP))
+	b.Ret()
+}
+
+// Local variable offsets available to body statements: [EBP-4..EBP-0x3C].
+const (
+	frameSize = 0x40
+	numLocals = 14
+)
+
+func (g *generator) localOff(i int) int32 { return -4 * int32(1+i%numLocals) }
+
+// hotFunc emits one hot function: prologue, an inner loop whose body is a
+// seeded mix of statement templates, and epilogue.
+//
+// Register conventions inside the loop: ESI = loop counter, EBX = bias
+// cursor, EDI = working-set index, EBP = frame pointer, EAX/ECX/EDX
+// scratch (clobbered by calls).
+func (g *generator) hotFunc(i int) {
+	b := g.b
+	name := fmt.Sprintf("f%d", i)
+	b.Label(name)
+	// Prologue.
+	b.Push(x86.RegOp(x86.EBP))
+	b.Mov(x86.RegOp(x86.EBP), x86.RegOp(x86.ESP))
+	b.Alu(x86.OpSUB, x86.RegOp(x86.ESP), x86.ImmOp(frameSize))
+	b.Push(x86.RegOp(x86.EBX))
+	b.Push(x86.RegOp(x86.ESI))
+	b.Push(x86.RegOp(x86.EDI))
+
+	biasSlot := g.slot()
+	wsSlot := g.slot()
+	b.Mov(x86.RegOp(x86.EBX), x86.MemAbs(biasSlot))
+	b.Mov(x86.RegOp(x86.EDI), x86.MemAbs(wsSlot))
+	// Seed a couple of locals from the argument and a global.
+	b.Mov(x86.RegOp(x86.EAX), x86.Mem(x86.EBP, 8))
+	b.Mov(x86.Mem(x86.EBP, g.localOff(0)), x86.RegOp(x86.EAX))
+	b.Mov(x86.RegOp(x86.ECX), x86.MemIdx(x86.RegNone, x86.EDI, 4, int32(DataBase)))
+	b.Mov(x86.Mem(x86.EBP, g.localOff(1)), x86.RegOp(x86.ECX))
+
+	b.Mov(x86.RegOp(x86.ESI), x86.ImmOp(int32(g.p.LoopTrip)))
+	loop := name + ".loop"
+	b.Label(loop)
+
+	for s, kind := range g.plan() {
+		g.statement(i, s, kind)
+	}
+
+	// Advance the working-set index and close the loop.
+	b.I(x86.Inst{Op: x86.OpINC, Cond: x86.CondNone, Dst: x86.RegOp(x86.EDI)})
+	b.Alu(x86.OpAND, x86.RegOp(x86.EDI), x86.ImmOp(int32(g.wsMask)))
+	b.I(x86.Inst{Op: x86.OpDEC, Cond: x86.CondNone, Dst: x86.RegOp(x86.ESI)})
+	b.Jcc(x86.CondNE, loop)
+
+	// Epilogue.
+	b.Mov(x86.MemAbs(biasSlot), x86.RegOp(x86.EBX))
+	b.Mov(x86.MemAbs(wsSlot), x86.RegOp(x86.EDI))
+	b.Pop(x86.RegOp(x86.EDI))
+	b.Pop(x86.RegOp(x86.ESI))
+	b.Pop(x86.RegOp(x86.EBX))
+	b.Mov(x86.RegOp(x86.ESP), x86.RegOp(x86.EBP))
+	b.Pop(x86.RegOp(x86.EBP))
+	b.Ret()
+}
+
+// stmtKind enumerates the body-statement templates.
+type stmtKind int
+
+const (
+	kSpill stmtKind = iota
+	kRepeat
+	kRecompute
+	kLeaf
+	kAlias
+	kHard
+	kChain
+	kArray
+	kTwoAddr
+	kBiased
+	numKinds
+)
+
+// plan builds the statement-kind list for one function body using
+// stratified quotas (with carry across functions, so small shares still
+// materialize), then shuffles the order. Stratification keeps each
+// profile's template composition tight, which the calibration against
+// Table 3 depends on.
+func (g *generator) plan() []stmtKind {
+	n := g.p.BodyStmts
+	shares := [numKinds]float64{
+		kSpill:     g.p.RedLoads * 0.20,
+		kRepeat:    g.p.RedLoads * 0.15,
+		kRecompute: g.p.RedALU * 0.40,
+		kLeaf:      g.p.LeafCalls * 0.3,
+		kAlias:     g.p.AliasRate * 0.25,
+		kHard:      g.p.HardBranches * 0.35,
+	}
+	kinds := make([]stmtKind, 0, n)
+	for k := stmtKind(0); k < kBiased+1; k++ {
+		if shares[k] == 0 {
+			continue
+		}
+		want := shares[k]*float64(n) + g.carry[k]
+		cnt := int(want)
+		g.carry[k] = want - float64(cnt)
+		for i := 0; i < cnt && len(kinds) < n; i++ {
+			kinds = append(kinds, k)
+		}
+	}
+	// Fill the remainder with the baseline mix (array updates dominate,
+	// as loads/stores do in compiled code).
+	fill := []stmtKind{kArray, kChain, kArray, kTwoAddr, kBiased}
+	for i := 0; len(kinds) < n; i++ {
+		kinds = append(kinds, fill[i%len(fill)])
+	}
+	g.rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	return kinds
+}
+
+// statement emits one body statement of the planned kind.
+func (g *generator) statement(fn, stmt int, kind stmtKind) {
+	switch kind {
+	case kSpill:
+		g.stmtSpillReload(stmt)
+	case kRepeat:
+		g.stmtRepeatedLoad(stmt)
+	case kRecompute:
+		g.stmtRecompute()
+	case kLeaf:
+		g.stmtLeafCall()
+	case kAlias:
+		g.stmtAliasStore(stmt)
+	case kHard:
+		g.stmtHardBranch(fn, stmt)
+	case kChain:
+		g.stmtChain()
+	case kArray:
+		g.stmtArrayUpdate()
+	case kTwoAddr:
+		g.stmtTwoAddress()
+	case kBiased:
+		g.stmtBiasedBranch(fn, stmt)
+	}
+}
+
+// stmtRecompute: the same ALU expression computed twice through the
+// two-address idiom — micro-op CSE food that removes no loads.
+func (g *generator) stmtRecompute() {
+	b := g.b
+	acc := g.acc()
+	other := g.acc()
+	k := int32(1 + g.rng.Intn(15))
+	b.Mov(x86.RegOp(acc), x86.RegOp(x86.ESI))
+	b.Alu(x86.OpADD, x86.RegOp(acc), x86.RegOp(x86.EBX))
+	b.I(x86.Inst{Op: x86.OpSHL, Cond: x86.CondNone, Dst: x86.RegOp(acc), Src: x86.ImmOp(2)})
+	b.Alu(x86.OpAND, x86.RegOp(acc), x86.ImmOp(k))
+	// Recompute the same subexpression for another consumer.
+	b.Mov(x86.RegOp(other), x86.RegOp(x86.ESI))
+	b.Alu(x86.OpADD, x86.RegOp(other), x86.RegOp(x86.EBX))
+	b.Alu(x86.OpXOR, x86.RegOp(acc), x86.RegOp(other))
+}
+
+// stmtSpillReload: store a scratch value to a local, compute, reload it —
+// a store-forwarding opportunity.
+func (g *generator) stmtSpillReload(stmt int) {
+	b := g.b
+	acc := g.acc()
+	other := g.acc()
+	off := g.localOff(g.rng.Intn(numLocals))
+	b.Mov(x86.Mem(x86.EBP, off), x86.RegOp(acc))
+	b.Alu(x86.OpADD, x86.RegOp(other), x86.ImmOp(int32(g.rng.Intn(64))))
+	b.Mov(x86.RegOp(acc), x86.Mem(x86.EBP, off)) // forwarded load
+	b.Alu(x86.OpADD, x86.RegOp(other), x86.RegOp(acc))
+}
+
+// stmtRepeatedLoad: load the same local twice with intervening work — a
+// redundant-load (CSE) opportunity.
+func (g *generator) stmtRepeatedLoad(stmt int) {
+	b := g.b
+	acc := g.acc()
+	other := g.acc()
+	off := g.localOff(g.rng.Intn(numLocals))
+	b.Mov(x86.RegOp(acc), x86.Mem(x86.EBP, off))
+	b.Alu(x86.OpADD, x86.RegOp(acc), x86.ImmOp(int32(1+g.rng.Intn(16))))
+	b.Mov(x86.RegOp(other), x86.Mem(x86.EBP, off)) // redundant load
+	b.Alu(x86.OpSUB, x86.RegOp(acc), x86.RegOp(other))
+}
+
+// stmtLeafCall: the Figure 2 pattern — push two arguments, call a leaf,
+// clean up the stack. Arguments are usually zero so the leaf's branch is
+// biased. Each site calls its own leaf so the return target is stable.
+func (g *generator) stmtLeafCall() {
+	b := g.b
+	idx := g.leafSites
+	g.leafSites++
+	b.Alu(x86.OpXOR, x86.RegOp(x86.EAX), x86.RegOp(x86.EAX))
+	b.Push(x86.RegOp(x86.EAX))
+	b.Push(x86.RegOp(x86.EAX))
+	b.Call(fmt.Sprintf("leaf%d", idx))
+	b.Alu(x86.OpADD, x86.RegOp(x86.ESP), x86.ImmOp(8))
+}
+
+// stmtAliasStore: store through a pointer that usually targets a global
+// scratch word but sometimes aliases a stack local — the unsafe-store
+// hazard for speculative memory optimization.
+func (g *generator) stmtAliasStore(stmt int) {
+	b := g.b
+	off := g.localOff(g.rng.Intn(numLocals))
+	scratch := DataBase + uint32(4*(64+g.rng.Intn(32)))
+	aliasThresh := int32(g.p.AliasRate * biasScale)
+	b.Mov(x86.Mem(x86.EBP, off), x86.RegOp(x86.ECX)) // local store (SF candidate)
+	g.advanceHard()
+	b.Alu(x86.OpCMP, x86.RegOp(x86.EDX), x86.ImmOp(aliasThresh))
+	b.Lea(x86.EAX, x86.Mem(x86.EBP, off)) // alias target
+	b.Lea(x86.ECX, x86.MemAbs(scratch))   // common target
+	b.I(x86.Inst{Op: x86.OpCMOV, Cond: x86.CondGE, Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.ECX)})
+	b.Mov(x86.Mem(x86.EAX, 0), x86.RegOp(x86.EDX))   // the potentially aliasing store
+	b.Mov(x86.RegOp(x86.ECX), x86.Mem(x86.EBP, off)) // load the optimizer may speculate on
+}
+
+// stmtHardBranch: a near-50/50 data-driven branch (misprediction and
+// frame-termination pressure).
+func (g *generator) stmtHardBranch(fn, stmt int) {
+	b := g.b
+	g.advanceHard()
+	b.Alu(x86.OpCMP, x86.RegOp(x86.EDX), x86.ImmOp(biasScale/2))
+	label := fmt.Sprintf("f%d.h%d", fn, stmt)
+	b.Jcc(x86.CondL, label)
+	b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.ImmOp(3))
+	b.Alu(x86.OpXOR, x86.RegOp(x86.EAX), x86.RegOp(x86.EDX))
+	b.Label(label)
+	b.Alu(x86.OpADD, x86.RegOp(x86.ECX), x86.RegOp(x86.EAX))
+}
+
+// stmtBiasedBranch: a conditional with the profile's inner bias; the
+// common path falls through so frame construction asserts past it.
+func (g *generator) stmtBiasedBranch(fn, stmt int) {
+	b := g.b
+	g.advanceBias()
+	b.Alu(x86.OpCMP, x86.RegOp(x86.EDX), x86.ImmOp(g.threshold))
+	label := fmt.Sprintf("f%d.b%d", fn, stmt)
+	// Taken with probability (1 - InnerBias): the rare path is skipped code.
+	b.Jcc(x86.CondGE, label)
+	b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.ImmOp(1))
+	b.Label(label)
+	b.Alu(x86.OpADD, x86.RegOp(x86.ECX), x86.ImmOp(2))
+}
+
+// stmtChain: a constant-offset dependence chain — reassociation food and
+// tree height.
+func (g *generator) stmtChain() {
+	b := g.b
+	acc := g.acc()
+	n := g.p.ChainLen
+	if n < 2 {
+		n = 2
+	}
+	for k := 0; k < n; k++ {
+		b.Alu(x86.OpADD, x86.RegOp(acc), x86.ImmOp(int32(1+g.rng.Intn(8))))
+	}
+}
+
+// stmtArrayUpdate: read-modify-write of a working-set element. Each site
+// uses its own static offset so sites are independent dataflow chains.
+func (g *generator) stmtArrayUpdate() {
+	b := g.b
+	acc := g.acc()
+	disp := int32(DataBase) + 4*int32(g.rng.Intn(256))
+	b.Mov(x86.RegOp(acc), x86.MemIdx(x86.RegNone, x86.EDI, 4, disp))
+	b.Alu(x86.OpADD, x86.RegOp(acc), x86.ImmOp(int32(1+g.rng.Intn(7))))
+	b.Mov(x86.MemIdx(x86.RegNone, x86.EDI, 4, disp), x86.RegOp(acc))
+}
+
+// acc rotates the accumulator register across statements so independent
+// statements form parallel dependence chains (compiler-scheduled code
+// does the same).
+func (g *generator) acc() x86.Reg {
+	regs := [3]x86.Reg{x86.EAX, x86.ECX, x86.EDX}
+	g.accCursor++
+	return regs[g.accCursor%3]
+}
+
+// stmtTwoAddress: the two-address workaround from the paper's running
+// example — MOV then OR standing in for a three-operand OR.
+func (g *generator) stmtTwoAddress() {
+	b := g.b
+	acc := g.acc()
+	src := g.acc()
+	b.Mov(x86.RegOp(acc), x86.RegOp(src))
+	b.Alu(x86.OpOR, x86.RegOp(acc), x86.RegOp(x86.EBX))
+	b.Alu(x86.OpAND, x86.RegOp(acc), x86.ImmOp(0xFFFF))
+}
+
+// mainLoop emits the driver: each outer iteration calls a rotation of the
+// hot functions (directly for SPEC-like profiles, partly through an
+// indirect table when IndirectCalls is set) until the instruction budget
+// cuts the trace.
+func (g *generator) mainLoop(traceIdx int) {
+	b := g.b
+	b.Label("main")
+	b.Mov(x86.RegOp(x86.ESI), x86.ImmOp(1<<30)) // effectively infinite
+	b.Label("main.loop")
+
+	callsPerIter := g.p.Funcs
+	if callsPerIter > 6 {
+		callsPerIter = 6
+	}
+	for c := 0; c < callsPerIter; c++ {
+		if g.p.IndirectCalls > 0 && g.rng.Float64() < g.p.IndirectCalls {
+			// Indirect call: rotate through the table with ESI.
+			b.Mov(x86.RegOp(x86.EAX), x86.RegOp(x86.ESI))
+			b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.ImmOp(int32(c)))
+			// Cheap modulus: AND with a power-of-two mask, clamped by table
+			// size via a conditional reset.
+			mask := int32(1)
+			for int(mask) < g.p.Funcs {
+				mask <<= 1
+			}
+			mask--
+			b.Alu(x86.OpAND, x86.RegOp(x86.EAX), x86.ImmOp(mask))
+			b.Alu(x86.OpCMP, x86.RegOp(x86.EAX), x86.ImmOp(int32(g.p.Funcs)))
+			skip := fmt.Sprintf("main.i%d.%d", traceIdx, c)
+			b.Jcc(x86.CondL, skip)
+			b.Alu(x86.OpXOR, x86.RegOp(x86.EAX), x86.RegOp(x86.EAX))
+			b.Label(skip)
+			b.Mov(x86.RegOp(x86.ECX), x86.MemIdx(x86.RegNone, x86.EAX, 4, int32(TableBase)))
+			b.Push(x86.ImmOp(int32(c)))
+			b.I(x86.Inst{Op: x86.OpCALL, Cond: x86.CondNone, Dst: x86.RegOp(x86.ECX)})
+			b.Alu(x86.OpADD, x86.RegOp(x86.ESP), x86.ImmOp(4))
+		} else {
+			fi := (traceIdx*3 + c) % g.p.Funcs
+			b.Push(x86.ImmOp(int32(c)))
+			b.Call(fmt.Sprintf("f%d", fi))
+			b.Alu(x86.OpADD, x86.RegOp(x86.ESP), x86.ImmOp(4))
+		}
+	}
+	b.I(x86.Inst{Op: x86.OpDEC, Cond: x86.CondNone, Dst: x86.RegOp(x86.ESI)})
+	b.Jcc(x86.CondNE, "main.loop")
+	b.Hlt()
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Mov(x86.RegOp(x86.EAX), x86.ImmOp(0))
+	b.Jmp("end")
+	b.Label("mid")
+	b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.ImmOp(1))
+	b.Label("end")
+	b.Hlt()
+	code, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode the JMP and check it targets "end".
+	pos := 5 // after MOV EAX, imm32
+	in, err := x86.Decode(code[pos:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != x86.OpJMP {
+		t.Fatalf("expected JMP, got %s", in)
+	}
+	endAddr, _ := b.LabelAddr("end")
+	if got := in.TargetPC(0x1000 + uint32(pos)); got != endAddr {
+		t.Errorf("JMP target = %#x, want %#x", got, endAddr)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jmp("nowhere")
+	if _, err := b.Finalize(); err == nil {
+		t.Error("undefined label not reported")
+	}
+	b = NewBuilder(0)
+	b.Label("x")
+	b.Label("x")
+	b.Hlt()
+	if _, err := b.Finalize(); err == nil {
+		t.Error("duplicate label not reported")
+	}
+}
+
+func TestBuilderBackwardBranch(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.Label("loop")
+	b.Alu(x86.OpADD, x86.RegOp(x86.EAX), x86.ImmOp(1))
+	b.Jcc(x86.CondNE, "loop")
+	code, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := x86.Decode(code[3:]) // after ADD (83 C0 01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.TargetPC(0x2003); got != 0x2000 {
+		t.Errorf("backward target = %#x", got)
+	}
+}
+
+// TestGenerateAndRun generates each profile's first trace program and runs
+// a short capture, checking the program executes cleanly.
+func TestGenerateAndRun(t *testing.T) {
+	for _, p := range Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := Generate(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := prog.Capture(5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Records) != 5000 {
+				t.Fatalf("captured %d records, want 5000", len(tr.Records))
+			}
+			s := tr.ComputeStats()
+			if s.Loads == 0 || s.Stores == 0 || s.Branches == 0 {
+				t.Errorf("degenerate trace: %+v", s)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: the same profile and index generate identical
+// programs and traces.
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles[0]
+	a, err := Generate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Code) != string(b.Code) {
+		t.Error("generation not deterministic")
+	}
+	ta, err := a.Capture(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.Capture(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ta.Records {
+		if ta.Records[i].PC != tb.Records[i].PC {
+			t.Fatalf("trace diverges at record %d", i)
+		}
+	}
+}
+
+// TestTracesDiffer: different trace indices of one application produce
+// different hot spots.
+func TestTracesDiffer(t *testing.T) {
+	p, err := ByName("excel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Code) == string(b.Code) {
+		t.Error("trace programs identical across indices")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("bzip2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileClasses(t *testing.T) {
+	if got := len(SPECProfiles()); got != 7 {
+		t.Errorf("SPEC profiles = %d, want 7", got)
+	}
+	if got := len(DesktopProfiles()); got != 7 {
+		t.Errorf("desktop profiles = %d, want 7", got)
+	}
+	total := 0
+	for _, p := range Profiles {
+		total += p.Traces
+	}
+	// Paper Table 1: 7 SPEC traces + 17 desktop traces.
+	if total != 7+17 {
+		t.Errorf("total traces = %d, want 24", total)
+	}
+}
+
+// TestBranchBias: the biased-branch sites must actually exhibit their
+// configured bias in execution.
+func TestBranchBias(t *testing.T) {
+	p, err := ByName("bzip2") // InnerBias 0.96
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := prog.Capture(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count per-PC conditional branch outcomes.
+	type stat struct{ taken, total int }
+	stats := map[uint32]*stat{}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		bts := tr.InstBytes(r.PC)
+		if bts == nil {
+			continue
+		}
+		in, err := x86.Decode(bts)
+		if err != nil || in.Op != x86.OpJCC {
+			continue
+		}
+		s := stats[r.PC]
+		if s == nil {
+			s = &stat{}
+			stats[r.PC] = s
+		}
+		s.total++
+		if r.Taken() {
+			s.taken++
+		}
+	}
+	if len(stats) == 0 {
+		t.Fatal("no conditional branches observed")
+	}
+	// Most conditional branch sites should be strongly biased one way.
+	biased := 0
+	for _, s := range stats {
+		if s.total < 20 {
+			continue
+		}
+		frac := float64(s.taken) / float64(s.total)
+		if frac > 0.85 || frac < 0.15 {
+			biased++
+		}
+	}
+	if biased == 0 {
+		t.Error("no biased branch sites found")
+	}
+}

@@ -1,0 +1,426 @@
+package x86
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports that the byte stream ended inside an instruction.
+var ErrTruncated = errors.New("x86: truncated instruction")
+
+type decBuf struct {
+	b   []byte
+	pos int
+}
+
+func (d *decBuf) byte() (uint8, error) {
+	if d.pos >= len(d.b) {
+		return 0, ErrTruncated
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decBuf) imm8() (int32, error) {
+	v, err := d.byte()
+	return int32(int8(v)), err
+}
+
+func (d *decBuf) imm16() (int32, error) {
+	if d.pos+2 > len(d.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.pos:])
+	d.pos += 2
+	return int32(v), nil
+}
+
+func (d *decBuf) imm32() (int32, error) {
+	if d.pos+4 > len(d.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return int32(v), nil
+}
+
+// modRM decodes a ModRM byte (plus SIB and displacement), returning the
+// reg-field value and the r/m operand.
+func (d *decBuf) modRM() (uint8, Operand, error) {
+	mb, err := d.byte()
+	if err != nil {
+		return 0, Operand{}, err
+	}
+	mod := mb >> 6
+	reg := (mb >> 3) & 7
+	rm := mb & 7
+	if mod == 3 {
+		return reg, RegOp(Reg(rm)), nil
+	}
+	m := MemRef{Base: RegNone, Index: RegNone, Scale: 1}
+	if rm == 4 {
+		// SIB byte.
+		sib, err := d.byte()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		idx := (sib >> 3) & 7
+		if idx != 4 {
+			m.Index = Reg(idx)
+			m.Scale = 1 << (sib >> 6)
+		}
+		base := sib & 7
+		if base == 5 && mod == 0 {
+			m.Base = RegNone
+			disp, err := d.imm32()
+			if err != nil {
+				return 0, Operand{}, err
+			}
+			m.Disp = disp
+			return reg, MemOp(m), nil
+		}
+		m.Base = Reg(base)
+	} else if rm == 5 && mod == 0 {
+		// Absolute disp32.
+		disp, err := d.imm32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		m.Disp = disp
+		return reg, MemOp(m), nil
+	} else {
+		m.Base = Reg(rm)
+	}
+	switch mod {
+	case 1:
+		disp, err := d.imm8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		m.Disp = disp
+	case 2:
+		disp, err := d.imm32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		m.Disp = disp
+	}
+	return reg, MemOp(m), nil
+}
+
+var aluOps = [8]Op{OpADD, OpOR, OpADC, OpSBB, OpAND, OpSUB, OpXOR, OpCMP}
+
+// Decode decodes the instruction at the start of code. The returned
+// instruction has Len set to the number of bytes consumed.
+func Decode(code []byte) (Inst, error) {
+	d := &decBuf{b: code}
+	in, err := d.decode()
+	if err != nil {
+		return Inst{}, err
+	}
+	in.Len = d.pos
+	return in, nil
+}
+
+func (d *decBuf) decode() (Inst, error) {
+	op, err := d.byte()
+	if err != nil {
+		return Inst{}, err
+	}
+	none := Inst{Cond: CondNone}
+
+	// Opcode-row ALU forms: 8*n + {01, 03, 05}.
+	if op < 0x40 && (op&7 == 1 || op&7 == 3 || op&7 == 5) {
+		n := op >> 3
+		alu := aluOps[n]
+		switch op & 7 {
+		case 1: // op r/m32, r32
+			reg, rm, err := d.modRM()
+			if err != nil {
+				return none, err
+			}
+			return Inst{Op: alu, Cond: CondNone, Dst: rm, Src: RegOp(Reg(reg))}, nil
+		case 3: // op r32, r/m32
+			reg, rm, err := d.modRM()
+			if err != nil {
+				return none, err
+			}
+			return Inst{Op: alu, Cond: CondNone, Dst: RegOp(Reg(reg)), Src: rm}, nil
+		case 5: // op EAX, imm32
+			imm, err := d.imm32()
+			if err != nil {
+				return none, err
+			}
+			return Inst{Op: alu, Cond: CondNone, Dst: RegOp(EAX), Src: ImmOp(imm)}, nil
+		}
+	}
+
+	switch {
+	case op >= 0x40 && op <= 0x47:
+		return Inst{Op: OpINC, Cond: CondNone, Dst: RegOp(Reg(op - 0x40))}, nil
+	case op >= 0x48 && op <= 0x4F:
+		return Inst{Op: OpDEC, Cond: CondNone, Dst: RegOp(Reg(op - 0x48))}, nil
+	case op >= 0x50 && op <= 0x57:
+		return Inst{Op: OpPUSH, Cond: CondNone, Dst: RegOp(Reg(op - 0x50))}, nil
+	case op >= 0x58 && op <= 0x5F:
+		return Inst{Op: OpPOP, Cond: CondNone, Dst: RegOp(Reg(op - 0x58))}, nil
+	case op >= 0x70 && op <= 0x7F:
+		rel, err := d.imm8()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpJCC, Cond: Cond(op - 0x70), Dst: ImmOp(rel)}, nil
+	case op >= 0xB8 && op <= 0xBF:
+		imm, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(Reg(op - 0xB8)), Src: ImmOp(imm)}, nil
+	}
+
+	switch op {
+	case 0x0F:
+		return d.decode0F()
+	case 0x68:
+		imm, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpPUSH, Cond: CondNone, Dst: ImmOp(imm)}, nil
+	case 0x6A:
+		imm, err := d.imm8()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpPUSH, Cond: CondNone, Dst: ImmOp(imm)}, nil
+	case 0x69, 0x6B:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		var imm int32
+		if op == 0x69 {
+			imm, err = d.imm32()
+		} else {
+			imm, err = d.imm8()
+		}
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpIMUL, Cond: CondNone, Dst: RegOp(Reg(reg)), Src: rm, Imm3: imm}, nil
+	case 0x81, 0x83:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		var imm int32
+		if op == 0x81 {
+			imm, err = d.imm32()
+		} else {
+			imm, err = d.imm8()
+		}
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: aluOps[reg], Cond: CondNone, Dst: rm, Src: ImmOp(imm)}, nil
+	case 0x85:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpTEST, Cond: CondNone, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0x87:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpXCHG, Cond: CondNone, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0x89:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpMOV, Cond: CondNone, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0x8B:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0x8D:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		if rm.Kind != KindMem {
+			return none, fmt.Errorf("x86: LEA with register r/m")
+		}
+		return Inst{Op: OpLEA, Cond: CondNone, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0x8F:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		if reg != 0 {
+			return none, fmt.Errorf("x86: bad POP /digit %d", reg)
+		}
+		return Inst{Op: OpPOP, Cond: CondNone, Dst: rm}, nil
+	case 0x90:
+		return Inst{Op: OpNOP, Cond: CondNone}, nil
+	case 0x99:
+		return Inst{Op: OpCDQ, Cond: CondNone}, nil
+	case 0xA9:
+		imm, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpTEST, Cond: CondNone, Dst: RegOp(EAX), Src: ImmOp(imm)}, nil
+	case 0xC1, 0xD1, 0xD3:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		var sop Op
+		switch reg {
+		case 4:
+			sop = OpSHL
+		case 5:
+			sop = OpSHR
+		case 7:
+			sop = OpSAR
+		default:
+			return none, fmt.Errorf("x86: bad shift /digit %d", reg)
+		}
+		switch op {
+		case 0xD1:
+			return Inst{Op: sop, Cond: CondNone, Dst: rm, Src: ImmOp(1)}, nil
+		case 0xD3:
+			return Inst{Op: sop, Cond: CondNone, Dst: rm, Src: RegOp(ECX)}, nil
+		default:
+			imm, err := d.imm8()
+			if err != nil {
+				return none, err
+			}
+			return Inst{Op: sop, Cond: CondNone, Dst: rm, Src: ImmOp(imm)}, nil
+		}
+	case 0xC2:
+		imm, err := d.imm16()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpRET, Cond: CondNone, Dst: ImmOp(imm)}, nil
+	case 0xC3:
+		return Inst{Op: OpRET, Cond: CondNone}, nil
+	case 0xC7:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		if reg != 0 {
+			return none, fmt.Errorf("x86: bad MOV /digit %d", reg)
+		}
+		imm, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpMOV, Cond: CondNone, Dst: rm, Src: ImmOp(imm)}, nil
+	case 0xC9:
+		return Inst{Op: OpLEAVE, Cond: CondNone}, nil
+	case 0xE8:
+		rel, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpCALL, Cond: CondNone, Dst: ImmOp(rel)}, nil
+	case 0xE9:
+		rel, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpJMP, Cond: CondNone, Dst: ImmOp(rel)}, nil
+	case 0xEB:
+		rel, err := d.imm8()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpJMP, Cond: CondNone, Dst: ImmOp(rel)}, nil
+	case 0xF4:
+		return Inst{Op: OpHLT, Cond: CondNone}, nil
+	case 0xF7:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		switch reg {
+		case 0:
+			imm, err := d.imm32()
+			if err != nil {
+				return none, err
+			}
+			return Inst{Op: OpTEST, Cond: CondNone, Dst: rm, Src: ImmOp(imm)}, nil
+		case 2:
+			return Inst{Op: OpNOT, Cond: CondNone, Dst: rm}, nil
+		case 3:
+			return Inst{Op: OpNEG, Cond: CondNone, Dst: rm}, nil
+		case 4:
+			return Inst{Op: OpMUL, Cond: CondNone, Dst: rm}, nil
+		case 5:
+			return Inst{Op: OpIMUL, Cond: CondNone, Dst: rm}, nil
+		case 6:
+			return Inst{Op: OpDIV, Cond: CondNone, Dst: rm}, nil
+		case 7:
+			return Inst{Op: OpIDIV, Cond: CondNone, Dst: rm}, nil
+		}
+		return none, fmt.Errorf("x86: bad F7 /digit %d", reg)
+	case 0xFF:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		switch reg {
+		case 0:
+			return Inst{Op: OpINC, Cond: CondNone, Dst: rm}, nil
+		case 1:
+			return Inst{Op: OpDEC, Cond: CondNone, Dst: rm}, nil
+		case 2:
+			return Inst{Op: OpCALL, Cond: CondNone, Dst: rm}, nil
+		case 4:
+			return Inst{Op: OpJMP, Cond: CondNone, Dst: rm}, nil
+		case 6:
+			return Inst{Op: OpPUSH, Cond: CondNone, Dst: rm}, nil
+		}
+		return none, fmt.Errorf("x86: bad FF /digit %d", reg)
+	}
+	return none, fmt.Errorf("x86: unknown opcode %#02x", op)
+}
+
+func (d *decBuf) decode0F() (Inst, error) {
+	none := Inst{Cond: CondNone}
+	op2, err := d.byte()
+	if err != nil {
+		return none, err
+	}
+	switch {
+	case op2 >= 0x40 && op2 <= 0x4F: // CMOVcc
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpCMOV, Cond: Cond(op2 - 0x40), Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case op2 >= 0x80 && op2 <= 0x8F: // Jcc rel32
+		rel, err := d.imm32()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpJCC, Cond: Cond(op2 - 0x80), Dst: ImmOp(rel)}, nil
+	case op2 == 0xAF: // IMUL r32, r/m32
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return none, err
+		}
+		return Inst{Op: OpIMUL, Cond: CondNone, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	}
+	return none, fmt.Errorf("x86: unknown opcode 0F %#02x", op2)
+}

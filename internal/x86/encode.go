@@ -1,0 +1,403 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// aluIndex maps the classic ALU-group operations to their /digit and
+// opcode-row index (ADD=0 ... CMP=7).
+func aluIndex(op Op) (uint8, bool) {
+	switch op {
+	case OpADD:
+		return 0, true
+	case OpOR:
+		return 1, true
+	case OpADC:
+		return 2, true
+	case OpSBB:
+		return 3, true
+	case OpAND:
+		return 4, true
+	case OpSUB:
+		return 5, true
+	case OpXOR:
+		return 6, true
+	case OpCMP:
+		return 7, true
+	}
+	return 0, false
+}
+
+func shiftDigit(op Op) (uint8, bool) {
+	switch op {
+	case OpSHL:
+		return 4, true
+	case OpSHR:
+		return 5, true
+	case OpSAR:
+		return 7, true
+	}
+	return 0, false
+}
+
+type encBuf struct {
+	b []byte
+}
+
+func (e *encBuf) byte(v uint8)  { e.b = append(e.b, v) }
+func (e *encBuf) imm8(v int32)  { e.b = append(e.b, uint8(v)) }
+func (e *encBuf) imm16(v int32) { e.b = binary.LittleEndian.AppendUint16(e.b, uint16(v)) }
+func (e *encBuf) imm32(v int32) { e.b = binary.LittleEndian.AppendUint32(e.b, uint32(v)) }
+
+func fitsInt8(v int32) bool { return v >= -128 && v <= 127 }
+
+// modRM emits the ModRM byte (and SIB/displacement as needed) for the
+// given reg-field value and r/m operand.
+func (e *encBuf) modRM(reg uint8, rm Operand) error {
+	switch rm.Kind {
+	case KindReg:
+		e.byte(0xC0 | reg<<3 | uint8(rm.Reg))
+		return nil
+	case KindMem:
+		return e.modRMMem(reg, rm.Mem)
+	default:
+		return fmt.Errorf("x86: bad r/m operand kind %d", rm.Kind)
+	}
+}
+
+func scaleBits(s uint8) (uint8, error) {
+	switch s {
+	case 0, 1:
+		return 0, nil
+	case 2:
+		return 1, nil
+	case 4:
+		return 2, nil
+	case 8:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("x86: bad scale %d", s)
+}
+
+func (e *encBuf) modRMMem(reg uint8, m MemRef) error {
+	if m.Index == ESP {
+		return fmt.Errorf("x86: ESP cannot be an index register")
+	}
+	// Absolute [disp32]: mod=00 rm=101.
+	if m.Base == RegNone && m.Index == RegNone {
+		e.byte(0x00 | reg<<3 | 0x05)
+		e.imm32(m.Disp)
+		return nil
+	}
+	needSIB := m.Index != RegNone || m.Base == ESP || m.Base == RegNone
+	if !needSIB {
+		// Simple [base+disp] form.
+		switch {
+		case m.Disp == 0 && m.Base != EBP:
+			e.byte(0x00 | reg<<3 | uint8(m.Base))
+		case fitsInt8(m.Disp):
+			e.byte(0x40 | reg<<3 | uint8(m.Base))
+			e.imm8(m.Disp)
+		default:
+			e.byte(0x80 | reg<<3 | uint8(m.Base))
+			e.imm32(m.Disp)
+		}
+		return nil
+	}
+	// SIB form.
+	ss, err := scaleBits(m.Scale)
+	if err != nil {
+		return err
+	}
+	idx := uint8(4) // "none"
+	if m.Index != RegNone {
+		idx = uint8(m.Index)
+	}
+	if m.Base == RegNone {
+		// [index*scale+disp32]: mod=00, base=101, disp32 mandatory.
+		e.byte(0x00 | reg<<3 | 0x04)
+		e.byte(ss<<6 | idx<<3 | 0x05)
+		e.imm32(m.Disp)
+		return nil
+	}
+	base := uint8(m.Base)
+	switch {
+	case m.Disp == 0 && m.Base != EBP:
+		e.byte(0x00 | reg<<3 | 0x04)
+		e.byte(ss<<6 | idx<<3 | base)
+	case fitsInt8(m.Disp):
+		e.byte(0x40 | reg<<3 | 0x04)
+		e.byte(ss<<6 | idx<<3 | base)
+		e.imm8(m.Disp)
+	default:
+		e.byte(0x80 | reg<<3 | 0x04)
+		e.byte(ss<<6 | idx<<3 | base)
+		e.imm32(m.Disp)
+	}
+	return nil
+}
+
+// Encode produces the IA-32 machine code for the instruction. The returned
+// slice is freshly allocated. Relative branch displacements are taken from
+// Dst.Imm and are relative to the end of the encoded instruction; Encode
+// selects the short (rel8) form when the displacement fits.
+func Encode(in Inst) ([]byte, error) {
+	e := &encBuf{b: make([]byte, 0, 8)}
+	err := e.encode(in)
+	if err != nil {
+		return nil, fmt.Errorf("x86: encode %s: %w", in, err)
+	}
+	return e.b, nil
+}
+
+func (e *encBuf) encode(in Inst) error {
+	d, s := in.Dst, in.Src
+	switch in.Op {
+	case OpMOV:
+		switch {
+		case d.Kind == KindReg && s.Kind == KindImm:
+			e.byte(0xB8 + uint8(d.Reg))
+			e.imm32(s.Imm)
+		case d.Kind == KindMem && s.Kind == KindImm:
+			e.byte(0xC7)
+			if err := e.modRM(0, d); err != nil {
+				return err
+			}
+			e.imm32(s.Imm)
+		case d.Kind == KindReg && (s.Kind == KindReg || s.Kind == KindMem):
+			e.byte(0x8B)
+			return e.modRM(uint8(d.Reg), s)
+		case d.Kind == KindMem && s.Kind == KindReg:
+			e.byte(0x89)
+			return e.modRM(uint8(s.Reg), d)
+		default:
+			return fmt.Errorf("unsupported MOV form")
+		}
+	case OpLEA:
+		if d.Kind != KindReg || s.Kind != KindMem {
+			return fmt.Errorf("LEA needs reg, mem")
+		}
+		e.byte(0x8D)
+		return e.modRM(uint8(d.Reg), s)
+	case OpXCHG:
+		if s.Kind != KindReg {
+			return fmt.Errorf("XCHG needs a register source")
+		}
+		e.byte(0x87)
+		return e.modRM(uint8(s.Reg), d)
+	case OpCMOV:
+		if d.Kind != KindReg || in.Cond >= 16 {
+			return fmt.Errorf("CMOVcc needs reg dst and condition")
+		}
+		e.byte(0x0F)
+		e.byte(0x40 + uint8(in.Cond))
+		return e.modRM(uint8(d.Reg), s)
+
+	case OpADD, OpOR, OpADC, OpSBB, OpAND, OpSUB, OpXOR, OpCMP:
+		n, _ := aluIndex(in.Op)
+		switch {
+		case s.Kind == KindImm && d.Kind != KindImm:
+			if fitsInt8(s.Imm) {
+				e.byte(0x83)
+				if err := e.modRM(n, d); err != nil {
+					return err
+				}
+				e.imm8(s.Imm)
+			} else {
+				e.byte(0x81)
+				if err := e.modRM(n, d); err != nil {
+					return err
+				}
+				e.imm32(s.Imm)
+			}
+		case d.Kind == KindReg && (s.Kind == KindReg || s.Kind == KindMem):
+			e.byte(n*8 + 0x03)
+			return e.modRM(uint8(d.Reg), s)
+		case d.Kind == KindMem && s.Kind == KindReg:
+			e.byte(n*8 + 0x01)
+			return e.modRM(uint8(s.Reg), d)
+		default:
+			return fmt.Errorf("unsupported ALU form")
+		}
+	case OpTEST:
+		switch {
+		case s.Kind == KindReg:
+			e.byte(0x85)
+			return e.modRM(uint8(s.Reg), d)
+		case s.Kind == KindImm:
+			e.byte(0xF7)
+			if err := e.modRM(0, d); err != nil {
+				return err
+			}
+			e.imm32(s.Imm)
+		default:
+			return fmt.Errorf("unsupported TEST form")
+		}
+
+	case OpINC, OpDEC:
+		digit := uint8(0)
+		if in.Op == OpDEC {
+			digit = 1
+		}
+		if d.Kind == KindReg {
+			e.byte(0x40 + digit*8 + uint8(d.Reg))
+			return nil
+		}
+		e.byte(0xFF)
+		return e.modRM(digit, d)
+	case OpNOT:
+		e.byte(0xF7)
+		return e.modRM(2, d)
+	case OpNEG:
+		e.byte(0xF7)
+		return e.modRM(3, d)
+	case OpMUL:
+		e.byte(0xF7)
+		return e.modRM(4, d)
+	case OpIMUL:
+		switch {
+		case s.Kind == KindNone:
+			// One-operand form: EDX:EAX = EAX * r/m32.
+			e.byte(0xF7)
+			return e.modRM(5, d)
+		case in.Imm3 != 0:
+			if d.Kind != KindReg {
+				return fmt.Errorf("IMUL three-operand needs reg dst")
+			}
+			if fitsInt8(in.Imm3) {
+				e.byte(0x6B)
+				if err := e.modRM(uint8(d.Reg), s); err != nil {
+					return err
+				}
+				e.imm8(in.Imm3)
+			} else {
+				e.byte(0x69)
+				if err := e.modRM(uint8(d.Reg), s); err != nil {
+					return err
+				}
+				e.imm32(in.Imm3)
+			}
+		default:
+			if d.Kind != KindReg {
+				return fmt.Errorf("IMUL two-operand needs reg dst")
+			}
+			e.byte(0x0F)
+			e.byte(0xAF)
+			return e.modRM(uint8(d.Reg), s)
+		}
+	case OpDIV:
+		e.byte(0xF7)
+		return e.modRM(6, d)
+	case OpIDIV:
+		e.byte(0xF7)
+		return e.modRM(7, d)
+	case OpCDQ:
+		e.byte(0x99)
+
+	case OpSHL, OpSHR, OpSAR:
+		digit, _ := shiftDigit(in.Op)
+		switch {
+		case s.Kind == KindImm && s.Imm == 1:
+			e.byte(0xD1)
+			return e.modRM(digit, d)
+		case s.Kind == KindImm:
+			e.byte(0xC1)
+			if err := e.modRM(digit, d); err != nil {
+				return err
+			}
+			e.imm8(s.Imm)
+		case s.Kind == KindReg && s.Reg == ECX:
+			e.byte(0xD3)
+			return e.modRM(digit, d)
+		default:
+			return fmt.Errorf("shift count must be imm or CL")
+		}
+
+	case OpPUSH:
+		switch d.Kind {
+		case KindReg:
+			e.byte(0x50 + uint8(d.Reg))
+		case KindImm:
+			if fitsInt8(d.Imm) {
+				e.byte(0x6A)
+				e.imm8(d.Imm)
+			} else {
+				e.byte(0x68)
+				e.imm32(d.Imm)
+			}
+		case KindMem:
+			e.byte(0xFF)
+			return e.modRM(6, d)
+		default:
+			return fmt.Errorf("unsupported PUSH form")
+		}
+	case OpPOP:
+		switch d.Kind {
+		case KindReg:
+			e.byte(0x58 + uint8(d.Reg))
+		case KindMem:
+			e.byte(0x8F)
+			return e.modRM(0, d)
+		default:
+			return fmt.Errorf("unsupported POP form")
+		}
+	case OpLEAVE:
+		e.byte(0xC9)
+
+	case OpJMP:
+		switch d.Kind {
+		case KindImm:
+			if fitsInt8(d.Imm) {
+				e.byte(0xEB)
+				e.imm8(d.Imm)
+			} else {
+				e.byte(0xE9)
+				e.imm32(d.Imm)
+			}
+		case KindReg, KindMem:
+			e.byte(0xFF)
+			return e.modRM(4, d)
+		default:
+			return fmt.Errorf("unsupported JMP form")
+		}
+	case OpJCC:
+		if in.Cond >= 16 || d.Kind != KindImm {
+			return fmt.Errorf("JCC needs condition and immediate target")
+		}
+		if fitsInt8(d.Imm) {
+			e.byte(0x70 + uint8(in.Cond))
+			e.imm8(d.Imm)
+		} else {
+			e.byte(0x0F)
+			e.byte(0x80 + uint8(in.Cond))
+			e.imm32(d.Imm)
+		}
+	case OpCALL:
+		switch d.Kind {
+		case KindImm:
+			e.byte(0xE8)
+			e.imm32(d.Imm)
+		case KindReg, KindMem:
+			e.byte(0xFF)
+			return e.modRM(2, d)
+		default:
+			return fmt.Errorf("unsupported CALL form")
+		}
+	case OpRET:
+		if d.Kind == KindImm {
+			e.byte(0xC2)
+			e.imm16(d.Imm)
+		} else {
+			e.byte(0xC3)
+		}
+
+	case OpNOP:
+		e.byte(0x90)
+	case OpHLT:
+		e.byte(0xF4)
+	default:
+		return fmt.Errorf("unsupported op %s", in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics: the decoder must reject arbitrary byte soup with
+// an error, never a panic, and always report a positive length on
+// success.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	buf := make([]byte, 15)
+	for trial := 0; trial < 200_000; trial++ {
+		n := 1 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			buf[i] = byte(r.Uint32())
+		}
+		in, err := Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		if in.Len <= 0 || in.Len > n {
+			t.Fatalf("bad length %d for %X", in.Len, buf[:n])
+		}
+		if in.Op == OpInvalid {
+			t.Fatalf("decoded OpInvalid from %X", buf[:n])
+		}
+	}
+}
+
+// TestDecodeEncodeDecode: anything the decoder accepts re-encodes to
+// something that decodes back to the same instruction (the encoder may
+// choose a different but equivalent encoding).
+func TestDecodeEncodeDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	buf := make([]byte, 15)
+	checked := 0
+	for trial := 0; trial < 300_000 && checked < 20_000; trial++ {
+		for i := range buf {
+			buf[i] = byte(r.Uint32())
+		}
+		in, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		enc, err := Encode(in)
+		if err != nil {
+			// Some decodable forms are not canonical encoder outputs
+			// (e.g. ALU row 05 short forms re-encode fine; anything that
+			// fails here is a bug).
+			t.Fatalf("re-encode failed for %s (from %X): %v", in, buf[:in.Len], err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed for %s (%X): %v", in, enc, err)
+		}
+		dec.Len, in.Len = 0, 0
+		if dec != in {
+			t.Fatalf("decode(encode(x)) != x:\n  %+v\n  %+v", in, dec)
+		}
+		checked++
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d random encodings checked", checked)
+	}
+}

@@ -1,0 +1,479 @@
+package x86
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// golden encodings verified against the IA-32 manual.
+var goldenTests = []struct {
+	in    Inst
+	bytes []byte
+	str   string
+}{
+	{Inst{Op: OpPUSH, Cond: CondNone, Dst: RegOp(EBP)}, []byte{0x55}, "PUSH EBP"},
+	{Inst{Op: OpPUSH, Cond: CondNone, Dst: RegOp(EBX)}, []byte{0x53}, "PUSH EBX"},
+	{Inst{Op: OpPOP, Cond: CondNone, Dst: RegOp(EBX)}, []byte{0x5B}, "POP EBX"},
+	{Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(EBP), Src: RegOp(ESP)}, []byte{0x8B, 0xEC}, "MOV EBP, ESP"},
+	{Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(ECX), Src: Mem(ESP, 0x0C)},
+		[]byte{0x8B, 0x4C, 0x24, 0x0C}, "MOV ECX, [ESP+0xC]"},
+	{Inst{Op: OpMOV, Cond: CondNone, Dst: Mem(EBP, -4), Src: RegOp(EAX)},
+		[]byte{0x89, 0x45, 0xFC}, "MOV [EBP-0x4], EAX"},
+	{Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(EAX), Src: ImmOp(5)},
+		[]byte{0xB8, 0x05, 0x00, 0x00, 0x00}, "MOV EAX, 0x5"},
+	{Inst{Op: OpXOR, Cond: CondNone, Dst: RegOp(EAX), Src: RegOp(EAX)},
+		[]byte{0x33, 0xC0}, "XOR EAX, EAX"},
+	{Inst{Op: OpADD, Cond: CondNone, Dst: RegOp(ESP), Src: ImmOp(8)},
+		[]byte{0x83, 0xC4, 0x08}, "ADD ESP, 0x8"},
+	{Inst{Op: OpSUB, Cond: CondNone, Dst: RegOp(ESP), Src: ImmOp(0x100)},
+		[]byte{0x81, 0xEC, 0x00, 0x01, 0x00, 0x00}, "SUB ESP, 0x100"},
+	{Inst{Op: OpLEA, Cond: CondNone, Dst: RegOp(EAX), Src: MemIdx(EBX, ESI, 4, 8)},
+		[]byte{0x8D, 0x44, 0xB3, 0x08}, "LEA EAX, [EBX+ESI*4+0x8]"},
+	{Inst{Op: OpINC, Cond: CondNone, Dst: RegOp(EAX)}, []byte{0x40}, "INC EAX"},
+	{Inst{Op: OpDEC, Cond: CondNone, Dst: RegOp(ECX)}, []byte{0x49}, "DEC ECX"},
+	{Inst{Op: OpTEST, Cond: CondNone, Dst: RegOp(EAX), Src: RegOp(EAX)},
+		[]byte{0x85, 0xC0}, "TEST EAX, EAX"},
+	{Inst{Op: OpCMP, Cond: CondNone, Dst: RegOp(EDX), Src: Mem(ESI, 0)},
+		[]byte{0x3B, 0x16}, "CMP EDX, [ESI]"},
+	{Inst{Op: OpJCC, Cond: CondE, Dst: ImmOp(0x15)}, []byte{0x74, 0x15}, "JE 0x15"},
+	{Inst{Op: OpJCC, Cond: CondNE, Dst: ImmOp(0x1234)},
+		[]byte{0x0F, 0x85, 0x34, 0x12, 0x00, 0x00}, "JNE 0x1234"},
+	{Inst{Op: OpJMP, Cond: CondNone, Dst: ImmOp(-2)}, []byte{0xEB, 0xFE}, "JMP -0x2"},
+	{Inst{Op: OpCALL, Cond: CondNone, Dst: ImmOp(0x40)},
+		[]byte{0xE8, 0x40, 0x00, 0x00, 0x00}, "CALL 0x40"},
+	{Inst{Op: OpCALL, Cond: CondNone, Dst: RegOp(EAX)}, []byte{0xFF, 0xD0}, "CALL EAX"},
+	{Inst{Op: OpJMP, Cond: CondNone, Dst: RegOp(EDX)}, []byte{0xFF, 0xE2}, "JMP EDX"},
+	{Inst{Op: OpRET, Cond: CondNone}, []byte{0xC3}, "RET"},
+	{Inst{Op: OpRET, Cond: CondNone, Dst: ImmOp(8)}, []byte{0xC2, 0x08, 0x00}, "RET 0x8"},
+	{Inst{Op: OpNOP, Cond: CondNone}, []byte{0x90}, "NOP"},
+	{Inst{Op: OpCDQ, Cond: CondNone}, []byte{0x99}, "CDQ"},
+	{Inst{Op: OpLEAVE, Cond: CondNone}, []byte{0xC9}, "LEAVE"},
+	{Inst{Op: OpHLT, Cond: CondNone}, []byte{0xF4}, "HLT"},
+	{Inst{Op: OpSHL, Cond: CondNone, Dst: RegOp(EAX), Src: ImmOp(4)},
+		[]byte{0xC1, 0xE0, 0x04}, "SHL EAX, 0x4"},
+	{Inst{Op: OpSAR, Cond: CondNone, Dst: RegOp(EDX), Src: ImmOp(1)},
+		[]byte{0xD1, 0xFA}, "SAR EDX, 0x1"},
+	{Inst{Op: OpSHR, Cond: CondNone, Dst: RegOp(EBX), Src: RegOp(ECX)},
+		[]byte{0xD3, 0xEB}, "SHR EBX, ECX"},
+	{Inst{Op: OpIMUL, Cond: CondNone, Dst: RegOp(EAX), Src: RegOp(EDX)},
+		[]byte{0x0F, 0xAF, 0xC2}, "IMUL EAX, EDX"},
+	{Inst{Op: OpIMUL, Cond: CondNone, Dst: RegOp(EAX), Src: RegOp(EAX), Imm3: 10},
+		[]byte{0x6B, 0xC0, 0x0A}, "IMUL EAX, EAX, 0xA"},
+	{Inst{Op: OpMUL, Cond: CondNone, Dst: RegOp(ECX)}, []byte{0xF7, 0xE1}, "MUL ECX"},
+	{Inst{Op: OpDIV, Cond: CondNone, Dst: RegOp(EBX)}, []byte{0xF7, 0xF3}, "DIV EBX"},
+	{Inst{Op: OpNEG, Cond: CondNone, Dst: RegOp(EAX)}, []byte{0xF7, 0xD8}, "NEG EAX"},
+	{Inst{Op: OpNOT, Cond: CondNone, Dst: RegOp(ESI)}, []byte{0xF7, 0xD6}, "NOT ESI"},
+	{Inst{Op: OpXCHG, Cond: CondNone, Dst: RegOp(EAX), Src: RegOp(EBX)},
+		[]byte{0x87, 0xD8}, "XCHG EAX, EBX"},
+	{Inst{Op: OpCMOV, Cond: CondGE, Dst: RegOp(EAX), Src: RegOp(ECX)},
+		[]byte{0x0F, 0x4D, 0xC1}, "CMOVGE EAX, ECX"},
+	{Inst{Op: OpPUSH, Cond: CondNone, Dst: ImmOp(0x12345678)},
+		[]byte{0x68, 0x78, 0x56, 0x34, 0x12}, "PUSH 0x12345678"},
+	{Inst{Op: OpPUSH, Cond: CondNone, Dst: ImmOp(7)}, []byte{0x6A, 0x07}, "PUSH 0x7"},
+	{Inst{Op: OpMOV, Cond: CondNone, Dst: Mem(EDI, 0), Src: ImmOp(-1)},
+		[]byte{0xC7, 0x07, 0xFF, 0xFF, 0xFF, 0xFF}, "MOV [EDI], -0x1"},
+	{Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(EAX), Src: MemAbs(0x1000)},
+		[]byte{0x8B, 0x05, 0x00, 0x10, 0x00, 0x00}, "MOV EAX, [0x1000]"},
+}
+
+func TestEncodeGolden(t *testing.T) {
+	for _, tt := range goldenTests {
+		got, err := Encode(tt.in)
+		if err != nil {
+			t.Errorf("Encode(%s): %v", tt.str, err)
+			continue
+		}
+		if !bytes.Equal(got, tt.bytes) {
+			t.Errorf("Encode(%s) = %X, want %X", tt.str, got, tt.bytes)
+		}
+	}
+}
+
+func TestDecodeGolden(t *testing.T) {
+	for _, tt := range goldenTests {
+		got, err := Decode(tt.bytes)
+		if err != nil {
+			t.Errorf("Decode(%X): %v", tt.bytes, err)
+			continue
+		}
+		if got.Len != len(tt.bytes) {
+			t.Errorf("Decode(%X).Len = %d, want %d", tt.bytes, got.Len, len(tt.bytes))
+		}
+		got.Len = 0
+		want := tt.in
+		// Scale canonicalization: absent index decodes with Scale 1.
+		if !instEqual(got, want) {
+			t.Errorf("Decode(%X) = %+v, want %+v", tt.bytes, got, want)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	for _, tt := range goldenTests {
+		if got := tt.in.String(); got != tt.str {
+			t.Errorf("String() = %q, want %q", got, tt.str)
+		}
+	}
+}
+
+func instEqual(a, b Inst) bool {
+	a.Len, b.Len = 0, 0
+	return a == b
+}
+
+func TestTargetPC(t *testing.T) {
+	in := Inst{Op: OpJCC, Cond: CondE, Dst: ImmOp(0x15)}
+	enc, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Len = len(enc)
+	if got, want := in.TargetPC(0x100), uint32(0x100+2+0x15); got != want {
+		t.Errorf("TargetPC = %#x, want %#x", got, want)
+	}
+	back := Inst{Op: OpJMP, Cond: CondNone, Dst: ImmOp(-2), Len: 2}
+	if got, want := back.TargetPC(0x200), uint32(0x200); got != want {
+		t.Errorf("backward TargetPC = %#x, want %#x", got, want)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		f    Flags
+		want bool
+	}{
+		{CondE, FlagZ, true},
+		{CondE, 0, false},
+		{CondNE, FlagZ, false},
+		{CondB, FlagC, true},
+		{CondAE, FlagC, false},
+		{CondBE, FlagZ, true},
+		{CondBE, FlagC, true},
+		{CondA, 0, true},
+		{CondA, FlagC, false},
+		{CondL, FlagS, true},
+		{CondL, FlagS | FlagO, false},
+		{CondGE, FlagS | FlagO, true},
+		{CondLE, FlagZ, true},
+		{CondG, 0, true},
+		{CondG, FlagZ, false},
+		{CondS, FlagS, true},
+		{CondNS, FlagS, false},
+		{CondO, FlagO, true},
+		{CondNO, FlagO, false},
+		{CondP, FlagP, true},
+		{CondNP, FlagP, false},
+		{CondNone, 0, true},
+	}
+	for _, tt := range cases {
+		if got := tt.c.Eval(tt.f); got != tt.want {
+			t.Errorf("%s.Eval(%s) = %v, want %v", tt.c, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	for c := Cond(0); c < 16; c++ {
+		n := c.Negate()
+		if n.Negate() != c {
+			t.Errorf("double negate of %s = %s", c, n.Negate())
+		}
+		// A condition and its negation must disagree on every flag setting.
+		for trial := 0; trial < 64; trial++ {
+			f := Flags(trial) & FlagMask
+			if c.Eval(f) == n.Eval(f) {
+				t.Errorf("%s and %s agree on flags %s", c, n, f)
+			}
+		}
+	}
+}
+
+// randInst generates a random valid instruction of a supported encodable form.
+func randInst(r *rand.Rand) Inst {
+	regs := []Reg{EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI}
+	reg := func() Reg { return regs[r.Intn(len(regs))] }
+	randMem := func() Operand {
+		m := MemRef{Base: RegNone, Index: RegNone, Scale: 1}
+		switch r.Intn(4) {
+		case 0: // [base+disp]
+			m.Base = reg()
+		case 1: // [base+index*scale+disp]
+			m.Base = reg()
+			for {
+				m.Index = reg()
+				if m.Index != ESP {
+					break
+				}
+			}
+			m.Scale = 1 << r.Intn(4)
+		case 2: // [index*scale+disp]
+			for {
+				m.Index = reg()
+				if m.Index != ESP {
+					break
+				}
+			}
+			m.Scale = 1 << r.Intn(4)
+		case 3: // [disp32]
+		}
+		switch r.Intn(3) {
+		case 0:
+			m.Disp = 0
+		case 1:
+			m.Disp = int32(int8(r.Uint32()))
+		case 2:
+			m.Disp = int32(r.Uint32())
+		}
+		return MemOp(m)
+	}
+	rm := func() Operand {
+		if r.Intn(2) == 0 {
+			return RegOp(reg())
+		}
+		return randMem()
+	}
+	imm := func() Operand {
+		if r.Intn(2) == 0 {
+			return ImmOp(int32(int8(r.Uint32())))
+		}
+		return ImmOp(int32(r.Uint32()))
+	}
+
+	aluLike := []Op{OpADD, OpOR, OpADC, OpSBB, OpAND, OpSUB, OpXOR, OpCMP}
+	switch r.Intn(16) {
+	case 0: // MOV forms
+		switch r.Intn(4) {
+		case 0:
+			return Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(reg()), Src: imm()}
+		case 1:
+			return Inst{Op: OpMOV, Cond: CondNone, Dst: randMem(), Src: imm()}
+		case 2:
+			return Inst{Op: OpMOV, Cond: CondNone, Dst: RegOp(reg()), Src: rm()}
+		default:
+			return Inst{Op: OpMOV, Cond: CondNone, Dst: randMem(), Src: RegOp(reg())}
+		}
+	case 1:
+		return Inst{Op: OpLEA, Cond: CondNone, Dst: RegOp(reg()), Src: randMem()}
+	case 2:
+		op := aluLike[r.Intn(len(aluLike))]
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: op, Cond: CondNone, Dst: rm(), Src: imm()}
+		case 1:
+			return Inst{Op: op, Cond: CondNone, Dst: RegOp(reg()), Src: rm()}
+		default:
+			return Inst{Op: op, Cond: CondNone, Dst: randMem(), Src: RegOp(reg())}
+		}
+	case 3:
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpTEST, Cond: CondNone, Dst: rm(), Src: RegOp(reg())}
+		}
+		return Inst{Op: OpTEST, Cond: CondNone, Dst: rm(), Src: ImmOp(int32(r.Uint32()))}
+	case 4:
+		ops := []Op{OpINC, OpDEC, OpNEG, OpNOT}
+		return Inst{Op: ops[r.Intn(len(ops))], Cond: CondNone, Dst: rm()}
+	case 5:
+		ops := []Op{OpSHL, OpSHR, OpSAR}
+		op := ops[r.Intn(len(ops))]
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: op, Cond: CondNone, Dst: rm(), Src: ImmOp(1)}
+		case 1:
+			return Inst{Op: op, Cond: CondNone, Dst: rm(), Src: ImmOp(int32(1 + r.Intn(31)))}
+		default:
+			return Inst{Op: op, Cond: CondNone, Dst: rm(), Src: RegOp(ECX)}
+		}
+	case 6:
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpIMUL, Cond: CondNone, Dst: rm()}
+		case 1:
+			return Inst{Op: OpIMUL, Cond: CondNone, Dst: RegOp(reg()), Src: rm()}
+		default:
+			v := int32(r.Uint32())
+			if v == 0 {
+				v = 3
+			}
+			return Inst{Op: OpIMUL, Cond: CondNone, Dst: RegOp(reg()), Src: rm(), Imm3: v}
+		}
+	case 7:
+		ops := []Op{OpMUL, OpDIV, OpIDIV}
+		return Inst{Op: ops[r.Intn(len(ops))], Cond: CondNone, Dst: rm()}
+	case 8:
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpPUSH, Cond: CondNone, Dst: RegOp(reg())}
+		case 1:
+			return Inst{Op: OpPUSH, Cond: CondNone, Dst: imm()}
+		default:
+			return Inst{Op: OpPUSH, Cond: CondNone, Dst: randMem()}
+		}
+	case 9:
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpPOP, Cond: CondNone, Dst: RegOp(reg())}
+		}
+		return Inst{Op: OpPOP, Cond: CondNone, Dst: randMem()}
+	case 10:
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpJMP, Cond: CondNone, Dst: imm()}
+		case 1:
+			return Inst{Op: OpJMP, Cond: CondNone, Dst: RegOp(reg())}
+		default:
+			return Inst{Op: OpJMP, Cond: CondNone, Dst: randMem()}
+		}
+	case 11:
+		return Inst{Op: OpJCC, Cond: Cond(r.Intn(16)), Dst: imm()}
+	case 12:
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpCALL, Cond: CondNone, Dst: ImmOp(int32(r.Uint32()))}
+		}
+		return Inst{Op: OpCALL, Cond: CondNone, Dst: rm()}
+	case 13:
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpRET, Cond: CondNone}
+		}
+		return Inst{Op: OpRET, Cond: CondNone, Dst: ImmOp(int32(r.Intn(0x10000)))}
+	case 14:
+		return Inst{Op: OpCMOV, Cond: Cond(r.Intn(16)), Dst: RegOp(reg()), Src: rm()}
+	default:
+		ops := []Op{OpNOP, OpCDQ, OpLEAVE, OpHLT, OpXCHG}
+		op := ops[r.Intn(len(ops))]
+		if op == OpXCHG {
+			return Inst{Op: OpXCHG, Cond: CondNone, Dst: rm(), Src: RegOp(reg())}
+		}
+		return Inst{Op: op, Cond: CondNone}
+	}
+}
+
+// TestRoundTrip is the encode/decode round-trip property: for every valid
+// instruction, Decode(Encode(in)) == in.
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		in := randInst(r)
+		enc, err := Encode(in)
+		if err != nil {
+			t.Logf("encode error for %+v: %v", in, err)
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Logf("decode error for %X (%+v): %v", enc, in, err)
+			return false
+		}
+		if dec.Len != len(enc) {
+			t.Logf("length mismatch for %X: %d vs %d", enc, dec.Len, len(enc))
+			return false
+		}
+		if !instEqual(dec, in) {
+			t.Logf("round trip mismatch: %+v -> %X -> %+v", in, enc, dec)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeStream checks sequential decoding of a composed function body.
+func TestDecodeStream(t *testing.T) {
+	prog := []Inst{
+		{Op: OpPUSH, Cond: CondNone, Dst: RegOp(EBP)},
+		{Op: OpMOV, Cond: CondNone, Dst: RegOp(EBP), Src: RegOp(ESP)},
+		{Op: OpSUB, Cond: CondNone, Dst: RegOp(ESP), Src: ImmOp(16)},
+		{Op: OpMOV, Cond: CondNone, Dst: RegOp(EAX), Src: Mem(EBP, 8)},
+		{Op: OpADD, Cond: CondNone, Dst: RegOp(EAX), Src: ImmOp(1)},
+		{Op: OpMOV, Cond: CondNone, Dst: Mem(EBP, -4), Src: RegOp(EAX)},
+		{Op: OpLEAVE, Cond: CondNone},
+		{Op: OpRET, Cond: CondNone},
+	}
+	var code []byte
+	for _, in := range prog {
+		enc, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, enc...)
+	}
+	pos := 0
+	for i, want := range prog {
+		got, err := Decode(code[pos:])
+		if err != nil {
+			t.Fatalf("inst %d: %v", i, err)
+		}
+		pos += got.Len
+		if !instEqual(got, want) {
+			t.Errorf("inst %d: got %s, want %s", i, got, want)
+		}
+	}
+	if pos != len(code) {
+		t.Errorf("consumed %d of %d bytes", pos, len(code))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                 // empty
+		{0x8B},             // MOV missing ModRM
+		{0x8B, 0x45},       // missing disp8
+		{0xB8, 0x01, 0x02}, // truncated imm32
+		{0x0F},             // truncated two-byte opcode
+		{0x0F, 0xFF},       // unknown two-byte opcode
+		{0xD8},             // x87, unsupported
+		{0x8F, 0x48, 0x00}, // POP with bad /digit
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%X) succeeded, want error", c)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if EAX.String() != "EAX" || EDI.String() != "EDI" || RegNone.String() != "-" {
+		t.Error("register names wrong")
+	}
+	for r := Reg(0); r < NumGPR; r++ {
+		if !r.Valid() {
+			t.Errorf("%s not valid", r)
+		}
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone should not be valid")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (FlagC | FlagZ).String(); got != "C-Z--" {
+		t.Errorf("Flags string = %q", got)
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	cases := []struct {
+		m    MemRef
+		want string
+	}{
+		{MemRef{Base: ESP, Index: RegNone, Scale: 1, Disp: 12}, "[ESP+0xC]"},
+		{MemRef{Base: EBP, Index: RegNone, Scale: 1, Disp: -4}, "[EBP-0x4]"},
+		{MemRef{Base: EBX, Index: ESI, Scale: 4, Disp: 0}, "[EBX+ESI*4]"},
+		{MemRef{Base: RegNone, Index: RegNone, Scale: 1, Disp: 0x1000}, "[0x1000]"},
+	}
+	for _, tt := range cases {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("MemRef.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func ExampleDecode() {
+	in, _ := Decode([]byte{0x8B, 0x4C, 0x24, 0x0C})
+	fmt.Println(in)
+	// Output: MOV ECX, [ESP+0xC]
+}

@@ -29,6 +29,54 @@ func reportPct(b *testing.B, name string, v float64) {
 	b.ReportMetric(v, name)
 }
 
+// BenchmarkSweepReuse measures the capture+memo layer on the shape of
+// `replaysim -experiment all`: fig6, both breakdowns, table3 and fig9
+// over a workload subset, back to back. The sub-benchmarks share code and
+// differ only in sim.Options.DisableCache, so their ns/op ratio is the
+// sweep-level speedup from interpreting each trace once and memoizing the
+// repeated RP/RPO runs.
+func BenchmarkSweepReuse(b *testing.B) {
+	profiles := make([]workload.Profile, 0, 4)
+	for _, n := range []string{"bzip2", "gzip", "vortex", "access"} {
+		p, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	sweep := func(b *testing.B, o sim.Options) {
+		if _, err := sim.Fig6(profiles, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.CycleBreakdown(profiles[:2], o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.CycleBreakdown(profiles[2:], o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Table3(profiles, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Fig9(profiles, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, disable := range []bool{true, false} {
+		disable := disable
+		name := "cached"
+		if disable {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.ResetCaches()
+				sweep(b, sim.Options{MaxInsts: 30_000, DisableCache: disable})
+			}
+		})
+	}
+	sim.ResetCaches()
+}
+
 // BenchmarkTable1Workloads regenerates the workload set: per class, the
 // trace capture rate and the stream shape (Table 1 plus the 1.4 micro-op
 // ratio of Section 5.1.1).

@@ -24,9 +24,11 @@ func main() {
 	experiment := flag.String("experiment", "summary", "which experiment to run")
 	insts := flag.Int("insts", 0, "override the per-trace x86 instruction budget")
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
+	cache := flag.Bool("cache", true,
+		"share slot-stream captures across modes and memoize repeated runs (identical output, much faster -experiment all)")
 	flag.Parse()
 
-	opts := repro.ExpOptions{InstructionBudget: *insts}
+	opts := repro.ExpOptions{InstructionBudget: *insts, DisableCache: !*cache}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

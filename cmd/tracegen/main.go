@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	tracegen -workload bzip2 [-trace 0] [-insts N] [-o file]   generate
-//	tracegen -stat file                                        summarize
-//	tracegen -list                                             list workloads
+//	tracegen -workload bzip2 [-trace 0] [-insts N] [-o file]      generate
+//	tracegen -workload bzip2 [-trace 0] [-insts N] -slots file    capture retired slot stream
+//	tracegen -stat file                                           summarize a trace file
+//	tracegen -slotstat file                                       summarize a slot-stream file
+//	tracegen -list                                                list workloads
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -24,17 +27,19 @@ func main() {
 	traceIdx := flag.Int("trace", 0, "hot-spot trace index")
 	insts := flag.Int("insts", 0, "x86 instruction budget (default: profile budget)")
 	out := flag.String("o", "", "write the captured trace to this file")
+	slots := flag.String("slots", "", "write the retired slot stream (replay capture) to this file")
 	stat := flag.String("stat", "", "summarize an existing trace file")
+	slotStat := flag.String("slotstat", "", "summarize an existing slot-stream file")
 	list := flag.Bool("list", false, "list the workload set (Table 1)")
 	flag.Parse()
 
-	if err := run(*name, *traceIdx, *insts, *out, *stat, *list); err != nil {
+	if err := run(*name, *traceIdx, *insts, *out, *slots, *stat, *slotStat, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, traceIdx, insts int, out, stat string, list bool) error {
+func run(name string, traceIdx, insts int, out, slots, stat, slotStat string, list bool) error {
 	switch {
 	case list:
 		t := stats.NewTable("Name", "Class", "Traces", "Insts/trace")
@@ -55,6 +60,44 @@ func run(name string, traceIdx, insts int, out, stat string, list bool) error {
 			return err
 		}
 		printStats(tr)
+		return nil
+
+	case slotStat != "":
+		f, err := os.Open(slotStat)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ss, err := trace.ReadSlots(f)
+		if err != nil {
+			return err
+		}
+		return printSlotStats(ss)
+
+	case name != "" && slots != "":
+		p, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		if insts == 0 {
+			insts = p.XInsts
+		}
+		ss, err := sim.CaptureSlotStream(p, traceIdx, insts)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(slots)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ss.Write(f); err != nil {
+			return err
+		}
+		if err := printSlotStats(ss); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", slots)
 		return nil
 
 	case name != "":
@@ -88,6 +131,37 @@ func run(name string, traceIdx, insts int, out, stat string, list bool) error {
 		return nil
 	}
 	return fmt.Errorf("nothing to do; see -h")
+}
+
+// printSlotStats summarizes a retired slot stream: length, code image,
+// PC footprint, and the micro-op expansion of the retired mix.
+func printSlotStats(ss *trace.SlotStream) error {
+	slots, err := sim.SlotsFromRecorded(ss)
+	if err != nil {
+		return err
+	}
+	pcs := make(map[uint32]bool)
+	var uops, memops, transfers int
+	for i := range slots {
+		s := &slots[i]
+		pcs[s.PC] = true
+		uops += len(s.UOps)
+		memops += len(s.MemAddrs)
+		if s.NextPC != s.PC+uint32(s.Inst.Len) {
+			transfers++
+		}
+	}
+	n := len(slots)
+	fmt.Printf("slot stream %s: code %d bytes at %#x\n", ss.Name, len(ss.Code), ss.CodeBase)
+	t := stats.NewTable("Metric", "Value", "Per kinst")
+	per := func(v int) string { return fmt.Sprintf("%.1f", 1000*float64(v)/float64(n)) }
+	t.Row("retired slots (x86 insts)", n, "")
+	t.Row("unique PCs", len(pcs), "")
+	t.Row("micro-ops", uops, per(uops))
+	t.Row("memory accesses", memops, per(memops))
+	t.Row("taken transfers", transfers, per(transfers))
+	t.Write(os.Stdout)
+	return nil
 }
 
 func printStats(tr *trace.Trace) {

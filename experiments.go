@@ -25,6 +25,11 @@ type ExpOptions struct {
 	Workloads []string
 	// InstructionBudget overrides each profile's per-trace budget.
 	InstructionBudget int
+	// DisableCache turns off the shared slot-stream capture and the run
+	// memoization that let figures sharing RP/RPO runs reuse them.
+	// Results are identical either way; the sweep just re-executes
+	// everything. See sim.Options.DisableCache.
+	DisableCache bool
 }
 
 func (o ExpOptions) profiles() ([]workload.Profile, error) {
@@ -43,7 +48,7 @@ func (o ExpOptions) profiles() ([]workload.Profile, error) {
 }
 
 func (o ExpOptions) simOptions() sim.Options {
-	return sim.Options{MaxInsts: o.InstructionBudget}
+	return sim.Options{MaxInsts: o.InstructionBudget, DisableCache: o.DisableCache}
 }
 
 // Figure6 regenerates Figure 6: x86 IPC under the four configurations.

@@ -21,11 +21,17 @@ type Cache struct {
 }
 
 // New returns a cache of the given total size, line size and
-// associativity. Sizes must be powers of two.
+// associativity. The set count is rounded down to a power of two when
+// the size/line/way combination does not yield one: the set index is a
+// mask, and masking with a non-power-of-two count silently skips sets
+// and aliases lines (shrinking the effective capacity unpredictably).
 func New(sizeBytes, lineBytes, ways int) *Cache {
 	sets := sizeBytes / lineBytes / ways
 	if sets < 1 {
 		sets = 1
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
 	}
 	c := &Cache{ways: ways, setMask: uint32(sets - 1)}
 	for lineBytes > 1 {

@@ -65,6 +65,32 @@ func TestCacheConflict(t *testing.T) {
 	}
 }
 
+// TestCacheNonPowerOfTwoSets: a size/line/way combination with a
+// non-power-of-two set count rounds down to a power of two. The pre-fix
+// code masked with sets-1 anyway, silently skipping sets and aliasing
+// lines.
+func TestCacheNonPowerOfTwoSets(t *testing.T) {
+	// 48kB / 64B lines / 4 ways = 192 sets -> rounds down to 128.
+	c := New(48<<10, 64, 4)
+	if got := int(c.setMask) + 1; got != 128 {
+		t.Fatalf("set count = %d, want 128", got)
+	}
+	// Functional check: 128 sets x 4 ways hold exactly 512 distinct
+	// sequential lines with no conflict evictions.
+	for i := uint32(0); i < 512; i++ {
+		c.Access(i * 64)
+	}
+	for i := uint32(0); i < 512; i++ {
+		if !c.Contains(i * 64) {
+			t.Fatalf("line %d evicted during a fill that exactly fits", i)
+		}
+	}
+	// Power-of-two geometries are untouched by the rounding.
+	if got := int(New(8<<10, 64, 2).setMask) + 1; got != 64 {
+		t.Errorf("8kB/64B/2w set count = %d, want 64", got)
+	}
+}
+
 func TestUOpCacheInsertLookup(t *testing.T) {
 	c := NewUOpCache[string](100)
 	if !c.Insert(0x1000, 40, "a") {

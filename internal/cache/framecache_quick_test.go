@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestUOpCacheQuickReplacementAccounting model-checks the UOpCache's
+// occupancy accounting under random Insert/Invalidate sequences over a
+// deliberately tiny PC domain, so the same PC is re-inserted with a
+// different size constantly (the frame-growth pattern: a cached frame is
+// replaced by a larger rebuild of the same start PC). Invariants after
+// every operation:
+//
+//   - Used() equals the sum of the sizes of the regions present
+//   - Len() equals the number of regions present
+//   - Used() never exceeds the capacity
+//   - a successful Insert leaves its own region resident
+func TestUOpCacheQuickReplacementAccounting(t *testing.T) {
+	const capacity = 256
+	c := NewUOpCache[uint32](capacity)
+	model := map[uint32]int{} // pc -> size of regions currently cached
+
+	sync := func() {
+		// Inserts evict LRU victims; drop them from the model too.
+		for pc := range model {
+			if !c.Contains(pc) {
+				delete(model, pc)
+			}
+		}
+	}
+	check := func() bool {
+		sum := 0
+		for _, s := range model {
+			sum += s
+		}
+		return c.Used() == sum && c.Len() == len(model) && c.Used() <= capacity
+	}
+
+	op := func(pcRaw, sizeRaw uint8, invalidate bool) bool {
+		pc := uint32(pcRaw % 8)
+		size := int(sizeRaw)%96 + 1
+		if invalidate {
+			c.Invalidate(pc)
+			delete(model, pc)
+			return check()
+		}
+		if !c.Insert(pc, size, pc) {
+			t.Errorf("Insert(%d, %d) rejected below capacity", pc, size)
+			return false
+		}
+		model[pc] = size
+		sync()
+		if !c.Contains(pc) {
+			t.Errorf("Insert(%d, %d) did not leave the region resident", pc, size)
+			return false
+		}
+		v, ok := c.Lookup(pc)
+		if !ok || v != pc {
+			t.Errorf("Lookup(%d) = %v, %v after insert", pc, v, ok)
+			return false
+		}
+		return check()
+	}
+	if err := quick.Check(op, &quick.Config{MaxCount: 10_000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -67,8 +67,11 @@ type Engine struct {
 	ras    *predict.RAS
 
 	// Store buffer model: address -> completion time of the youngest
-	// in-flight store.
-	storeBuf map[uint32]uint64
+	// in-flight store. Entries outside the forwarding window are dead;
+	// storeBufSweep tracks the last eviction pass so the map stays
+	// bounded over long runs.
+	storeBuf      map[uint32]uint64
+	storeBufSweep uint64
 
 	// rePLay engine (RP/RPO modes).
 	cons       *frame.Constructor
@@ -145,39 +148,33 @@ func New(cfg Config, mode Mode, src Stream) *Engine {
 	return e
 }
 
-// Stats returns the statistics accumulated since the last ResetStats.
-func (e *Engine) Stats() Stats {
+// snapshotStats copies the full running totals, including the clock and
+// the counters kept by the frame constructor.
+func (e *Engine) snapshotStats() Stats {
 	s := e.stats
+	s.Cycles = e.cycle
 	if e.cons != nil {
 		s.EndUnbiased = e.cons.EndUnbiased
 		s.EndUnstable = e.cons.EndUnstable
 		s.EndMaxSize = e.cons.EndMaxSize
 		s.DroppedSmall = e.cons.DroppedSmall
 	}
-	s.Cycles = e.cycle - e.base.Cycles
-	s.X86Retired -= e.base.X86Retired
-	s.UOpsRetired -= e.base.UOpsRetired
-	s.UOpsBaseline -= e.base.UOpsBaseline
-	s.LoadsBaseline -= e.base.LoadsBaseline
-	s.LoadsRetired -= e.base.LoadsRetired
-	s.CoveredBaseline -= e.base.CoveredBaseline
-	for b := Bin(0); b < NumBins; b++ {
-		s.Bins[b] -= e.base.Bins[b]
-	}
+	return s
+}
+
+// Stats returns the statistics accumulated since the last ResetStats.
+func (e *Engine) Stats() Stats {
+	s := e.snapshotStats()
+	s.Sub(&e.base)
 	return s
 }
 
 // ResetStats makes subsequent Stats relative to this point (used to
-// exclude warmup).
+// exclude warmup). The whole Stats struct is snapshotted, so every
+// counter — mispredicts, frame fetches and aborts, optimizer totals —
+// is baselined, not just cycles, retirement counts and fetch bins.
 func (e *Engine) ResetStats() {
-	e.base.Cycles = e.cycle
-	e.base.X86Retired = e.stats.X86Retired
-	e.base.UOpsRetired = e.stats.UOpsRetired
-	e.base.UOpsBaseline = e.stats.UOpsBaseline
-	e.base.LoadsBaseline = e.stats.LoadsBaseline
-	e.base.LoadsRetired = e.stats.LoadsRetired
-	e.base.CoveredBaseline = e.stats.CoveredBaseline
-	e.base.Bins = e.stats.Bins
+	e.base = e.snapshotStats()
 }
 
 // next consumes the next correct-path instruction.
@@ -282,10 +279,29 @@ func opLatency(op uop.Op) uint64 {
 	return 1
 }
 
+// storeForwardWindow is the cycle span within which an in-flight store
+// can still forward its data to a later load.
+const storeForwardWindow = 256
+
+// evictStaleStores drops store-buffer entries too old to ever forward
+// again. Without it the map only grows — an unbounded leak over long
+// simulations. Swept every few windows to keep the amortized cost nil.
+func (e *Engine) evictStaleStores() {
+	if e.cycle < e.storeBufSweep+4*storeForwardWindow {
+		return
+	}
+	e.storeBufSweep = e.cycle
+	for addr, done := range e.storeBuf {
+		if done+storeForwardWindow <= e.cycle {
+			delete(e.storeBuf, addr)
+		}
+	}
+}
+
 // loadLatency models the data-cache hierarchy and store-buffer bypass for
 // a load issued at issueAt. It returns the completion time.
 func (e *Engine) loadLatency(addr uint32, issueAt uint64) uint64 {
-	if done, ok := e.storeBuf[addr]; ok && done+256 > issueAt {
+	if done, ok := e.storeBuf[addr]; ok && done+storeForwardWindow > issueAt {
 		// Store-buffer bypass: data comes from an in-flight store.
 		t := issueAt + uint64(e.cfg.StoreForwardLat)
 		if done+1 > t {
@@ -425,6 +441,7 @@ func (e *Engine) Run(maxInsts uint64) uint64 {
 		}
 		// Drain optimizer completions whose latency has elapsed.
 		e.drainOptimizer()
+		e.evictStaleStores()
 
 		switch {
 		case e.frames != nil:

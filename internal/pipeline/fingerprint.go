@@ -1,0 +1,16 @@
+package pipeline
+
+import "fmt"
+
+// Fingerprint returns a canonical identity string for the configuration:
+// two configs with equal fingerprints drive bit-identical simulations
+// over the same instruction stream. The experiment driver keys its run
+// memoization on it (together with the mode and the workload), which is
+// what lets fig6/fig7/fig8/table3/fig9 share their common RP/RPO runs.
+//
+// Config must stay a plain value struct (bools, integers, nested value
+// structs): a pointer, func, map or slice field would make the %#v
+// rendering non-canonical. TestFingerprintValueStruct enforces this.
+func (c *Config) Fingerprint() string {
+	return fmt.Sprintf("%#v", *c)
+}

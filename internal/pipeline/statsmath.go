@@ -1,0 +1,42 @@
+package pipeline
+
+import "reflect"
+
+// Add accumulates every counter of o into s: the cycle bins, the plain
+// integer counters, and the nested optimizer stats. Coverage is
+// structural (reflection over the struct), so counters added to Stats
+// later are folded in automatically instead of silently dropped — the
+// failure mode that let warmup-phase mispredicts and optimizer totals
+// leak past ResetStats.
+func (s *Stats) Add(o *Stats) {
+	combineStats(reflect.ValueOf(s).Elem(), reflect.ValueOf(o).Elem(), 1)
+}
+
+// Sub subtracts every counter of o from s. Engine.Stats uses it to
+// remove the warmup baseline uniformly.
+func (s *Stats) Sub(o *Stats) {
+	combineStats(reflect.ValueOf(s).Elem(), reflect.ValueOf(o).Elem(), -1)
+}
+
+func combineStats(dst, src reflect.Value, sign int64) {
+	switch dst.Kind() {
+	case reflect.Struct:
+		for i := 0; i < dst.NumField(); i++ {
+			combineStats(dst.Field(i), src.Field(i), sign)
+		}
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < dst.Len(); i++ {
+			combineStats(dst.Index(i), src.Index(i), sign)
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		// uint64(sign) wraps to 2^64-1 for -1; modular arithmetic makes
+		// dst + (2^64-1)*src == dst - src.
+		dst.SetUint(dst.Uint() + uint64(sign)*src.Uint())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		dst.SetInt(dst.Int() + sign*src.Int())
+	case reflect.Float32, reflect.Float64:
+		dst.SetFloat(dst.Float() + float64(sign)*src.Float())
+	default:
+		panic("pipeline: Stats field of non-counter kind " + dst.Kind().String())
+	}
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/translate"
+	"repro/internal/uop"
+	"repro/internal/workload"
+	"repro/internal/x86"
+)
+
+// The capture layer: the functional IA-32 interpreter runs once per
+// (profile, trace index, budget), recording the retired slot stream; all
+// four pipeline modes — and every later experiment over the same
+// workload — replay the recording instead of re-interpreting. The
+// decoded/translated stream is deterministic per (profile, trace), so
+// replayed runs are bit-identical to interpreted ones.
+
+// captureSlack is how many slots beyond the instruction budget a capture
+// records. The engine consumes past the budget by at most one frame of
+// retirement overshoot (<= MaxUOps x86 instructions) plus one frame of
+// lookahead, so a couple thousand slots of slack guarantees a replayed
+// engine never sees a premature end-of-stream.
+const captureSlack = 2048
+
+// slotSource is a correct-path stream that can report a deferred
+// interpreter error once the run is over.
+type slotSource interface {
+	pipeline.Stream
+	Err() error
+}
+
+// Err surfaces an interpreter failure after a live run.
+func (s *cpuStream) Err() error { return s.err }
+
+// recordedStream is one captured retired-slot stream, stored columnar:
+// per retired instruction only the PC, the successor PC and the memory
+// addresses vary, so those are kept in flat arrays (~12 bytes per slot)
+// while the decode and translation are shared per-PC maps. A full-budget
+// capture is a few MB instead of the tens of MB a []pipeline.Slot costs,
+// which is what lets maxLiveCaptures cover a whole sweep.
+type recordedStream struct {
+	pcs      []uint32
+	nextPCs  []uint32
+	memOff   []uint32 // prefix offsets into memAddrs; len = len(pcs)+1
+	memAddrs []uint32
+	insts    map[uint32]x86.Inst
+	uops     map[uint32][]uop.UOp
+	err      error // interpreter error hit at the end of the slots, if any
+	atEnd    bool  // the program genuinely ended (vs the capture bound)
+}
+
+func (rec *recordedStream) len() int { return len(rec.pcs) }
+
+// slot materializes retired slot i. MemAddrs aliases the shared backing
+// array (capacity-clipped); the engine only reads it.
+func (rec *recordedStream) slot(i int) pipeline.Slot {
+	pc := rec.pcs[i]
+	var addrs []uint32
+	if lo, hi := rec.memOff[i], rec.memOff[i+1]; hi > lo {
+		addrs = rec.memAddrs[lo:hi:hi]
+	}
+	return pipeline.Slot{PC: pc, Inst: rec.insts[pc], UOps: rec.uops[pc],
+		NextPC: rec.nextPCs[i], MemAddrs: addrs}
+}
+
+// errCaptureExhausted reports a replay that consumed the whole recording
+// without the underlying program having ended — a would-be silent
+// divergence from a live run, turned into a loud failure.
+var errCaptureExhausted = errors.New("sim: captured slot stream exhausted before the run finished (captureSlack too small)")
+
+// replayStream serves a recordedStream as a pipeline.Stream. Each engine
+// gets its own cursor; the slots themselves are shared read-only.
+type replayStream struct {
+	rec       *recordedStream
+	pos       int
+	exhausted bool
+}
+
+func (r *replayStream) Next() (pipeline.Slot, bool) {
+	if r.pos >= r.rec.len() {
+		r.exhausted = true
+		return pipeline.Slot{}, false
+	}
+	s := r.rec.slot(r.pos)
+	r.pos++
+	return s, true
+}
+
+func (r *replayStream) Err() error {
+	if !r.exhausted {
+		return nil
+	}
+	if r.rec.err != nil {
+		return r.rec.err
+	}
+	if !r.rec.atEnd {
+		return errCaptureExhausted
+	}
+	return nil
+}
+
+// captureRecorded drains the interpreter into a recording of at most max
+// slots. An interpreter error is stored positionally: a replay only
+// surfaces it if the engine actually consumes that far, exactly like a
+// live run. The decode/translation maps are taken over from the
+// interpreter stream, so every replayed slot shares them.
+func captureRecorded(prog *workload.Program, max int) *recordedStream {
+	src := newCPUStream(prog)
+	rec := &recordedStream{
+		pcs:     make([]uint32, 0, max),
+		nextPCs: make([]uint32, 0, max),
+		memOff:  make([]uint32, 1, max+1),
+		insts:   src.insts,
+		uops:    src.uops,
+	}
+	for len(rec.pcs) < max {
+		s, ok := src.Next()
+		if !ok {
+			rec.atEnd = true
+			rec.err = src.err
+			return rec
+		}
+		rec.pcs = append(rec.pcs, s.PC)
+		rec.nextPCs = append(rec.nextPCs, s.NextPC)
+		rec.memAddrs = append(rec.memAddrs, s.MemAddrs...)
+		rec.memOff = append(rec.memOff, uint32(len(rec.memAddrs)))
+	}
+	return rec
+}
+
+// profileFingerprint canonically identifies a workload profile. Profile
+// is a plain value struct, so %#v covers every generator knob — two
+// custom workloads sharing a name but differing in shape never collide.
+func profileFingerprint(p *workload.Profile) string {
+	return fmt.Sprintf("%#v", *p)
+}
+
+// maxLiveCaptures bounds the capture cache's memory. A full-budget
+// columnar recording is a few MB, so the bound comfortably covers every
+// (workload, trace) of the paper's sweep — later figures replay instead
+// of re-interpreting — while still capping custom-workload hosts.
+const maxLiveCaptures = 32
+
+type captureKey struct {
+	profile string
+	trace   int
+	insts   int
+}
+
+type captureEntry struct {
+	once   sync.Once
+	rec    *recordedStream
+	genErr error
+}
+
+// captureCache shares recordings across the concurrent (workload, mode)
+// jobs of a sweep. sync.Once per entry collapses the four modes' racing
+// requests into one interpretation; LRU eviction bounds residency
+// (an evicted entry still in use stays alive via its users' references).
+type captureCache struct {
+	mu      sync.Mutex
+	entries map[captureKey]*captureEntry
+	order   []captureKey // front = least recently used
+}
+
+var captures = &captureCache{entries: map[captureKey]*captureEntry{}}
+
+func (c *captureCache) get(p workload.Profile, traceIdx, budget int) (*recordedStream, error) {
+	key := captureKey{profile: profileFingerprint(&p), trace: traceIdx, insts: budget}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &captureEntry{}
+		c.entries[key] = e
+	}
+	c.touch(key)
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		prog, err := workload.Generate(p, traceIdx)
+		if err != nil {
+			e.genErr = err
+			return
+		}
+		e.rec = captureRecorded(prog, budget+captureSlack)
+	})
+	return e.rec, e.genErr
+}
+
+// touch moves key to the most-recent end and evicts the oldest entries
+// beyond the residency bound. Caller holds c.mu.
+func (c *captureCache) touch(key captureKey) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+	for len(c.order) > maxLiveCaptures {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+	}
+}
+
+func (c *captureCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[captureKey]*captureEntry{}
+	c.order = nil
+}
+
+// CaptureSlotStream interprets one hot-spot trace of the profile and
+// returns the retired slot stream in the on-disk format (cmd/tracegen
+// dumps these; SlotsFromRecorded reloads them).
+func CaptureSlotStream(p workload.Profile, traceIdx, maxInsts int) (*trace.SlotStream, error) {
+	prog, err := workload.Generate(p, traceIdx)
+	if err != nil {
+		return nil, err
+	}
+	rec := captureRecorded(prog, maxInsts)
+	if rec.err != nil {
+		return nil, rec.err
+	}
+	ss := &trace.SlotStream{Name: prog.Name, CodeBase: prog.Base, Code: prog.Code,
+		Slots: make([]trace.SlotRec, 0, rec.len())}
+	for i := 0; i < rec.len(); i++ {
+		s := rec.slot(i)
+		ss.Slots = append(ss.Slots, trace.SlotRec{PC: s.PC, NextPC: s.NextPC, MemAddrs: s.MemAddrs})
+	}
+	return ss, nil
+}
+
+// SlotsFromRecorded reconstructs engine-ready slots from an on-disk
+// stream, re-decoding and re-translating each PC from the code image
+// (decode is deterministic, so the result matches the original capture).
+func SlotsFromRecorded(ss *trace.SlotStream) ([]pipeline.Slot, error) {
+	insts := make(map[uint32]x86.Inst)
+	uops := make(map[uint32][]uop.UOp)
+	slots := make([]pipeline.Slot, 0, len(ss.Slots))
+	for i := range ss.Slots {
+		r := &ss.Slots[i]
+		in, ok := insts[r.PC]
+		var us []uop.UOp
+		if ok {
+			us = uops[r.PC]
+		} else {
+			b := ss.InstBytes(r.PC)
+			if b == nil {
+				return nil, fmt.Errorf("sim: slot %d PC %#x outside the code image", i, r.PC)
+			}
+			var err error
+			in, err = x86.Decode(b)
+			if err != nil {
+				return nil, fmt.Errorf("sim: slot %d PC %#x: %w", i, r.PC, err)
+			}
+			us, err = translate.UOps(in, r.PC)
+			if err != nil {
+				return nil, fmt.Errorf("sim: slot %d PC %#x: %w", i, r.PC, err)
+			}
+			insts[r.PC] = in
+			uops[r.PC] = us
+		}
+		slots = append(slots, pipeline.Slot{PC: r.PC, Inst: in, UOps: us, NextPC: r.NextPC, MemAddrs: r.MemAddrs})
+	}
+	return slots, nil
+}
+
+// NewSlotStream wraps a reconstructed slot slice as a correct-path
+// stream for pipeline.New (the replay path for on-disk captures).
+func NewSlotStream(slots []pipeline.Slot) pipeline.Stream {
+	rec := &recordedStream{
+		pcs:     make([]uint32, 0, len(slots)),
+		nextPCs: make([]uint32, 0, len(slots)),
+		memOff:  make([]uint32, 1, len(slots)+1),
+		insts:   make(map[uint32]x86.Inst, 256),
+		uops:    make(map[uint32][]uop.UOp, 256),
+		atEnd:   true,
+	}
+	for i := range slots {
+		s := &slots[i]
+		rec.pcs = append(rec.pcs, s.PC)
+		rec.nextPCs = append(rec.nextPCs, s.NextPC)
+		rec.memAddrs = append(rec.memAddrs, s.MemAddrs...)
+		rec.memOff = append(rec.memOff, uint32(len(rec.memAddrs)))
+		rec.insts[s.PC] = s.Inst
+		rec.uops[s.PC] = s.UOps
+	}
+	return &replayStream{rec: rec}
+}

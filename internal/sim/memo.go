@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// The run memo: a completed (profile, mode, budget, warmup, config)
+// simulation is recorded by the canonical fingerprints of its inputs, so
+// the RP/RPO runs that fig6, the fig7/fig8 breakdowns, table3 and fig9
+// all repeat execute once per sweep instead of once per figure.
+// Simulations are deterministic, so serving the memo is observationally
+// identical to re-running.
+
+type memoKey struct {
+	profile  string // canonical profile fingerprint
+	mode     pipeline.Mode
+	budget   int
+	warmFrac float64
+	config   string // pipeline.Config fingerprint
+}
+
+var memo = struct {
+	sync.RWMutex
+	m map[memoKey]pipeline.Stats
+}{m: map[memoKey]pipeline.Stats{}}
+
+func memoGet(k memoKey) (pipeline.Stats, bool) {
+	memo.RLock()
+	defer memo.RUnlock()
+	s, ok := memo.m[k]
+	return s, ok
+}
+
+func memoPut(k memoKey, s pipeline.Stats) {
+	memo.Lock()
+	defer memo.Unlock()
+	memo.m[k] = s
+}
+
+// ResetCaches clears the shared slot-stream captures and the run memo.
+// Benchmarks use it to measure cold sweeps; long-lived hosts can use it
+// to release capture memory.
+func ResetCaches() {
+	captures.reset()
+	memo.Lock()
+	memo.m = map[memoKey]pipeline.Stats{}
+	memo.Unlock()
+}

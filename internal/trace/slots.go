@@ -1,0 +1,139 @@
+// Slot-stream format: the retired-slot capture the experiment driver
+// records so the four pipeline modes (and later runs) replay one
+// functional interpretation instead of re-interpreting per mode. It is
+// the Record format stripped to what the timing model consumes — control
+// flow and memory addresses — plus the code image; decoded instructions
+// and micro-op flows are deterministic functions of the code bytes, so a
+// reader re-derives them instead of storing them.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// SlotRec is one retired x86 instruction of a captured slot stream: its
+// PC, its dynamic successor, and its memory addresses in flow order.
+type SlotRec struct {
+	PC       uint32
+	NextPC   uint32
+	MemAddrs []uint32
+}
+
+// SlotStream is a captured retired-slot stream with the code image
+// needed to re-decode it.
+type SlotStream struct {
+	Name     string
+	CodeBase uint32
+	Code     []byte
+	Slots    []SlotRec
+}
+
+// InstBytes returns the encoded bytes of the instruction at pc, or nil
+// if pc is outside the code image.
+func (s *SlotStream) InstBytes(pc uint32) []byte {
+	if pc < s.CodeBase || pc >= s.CodeBase+uint32(len(s.Code)) {
+		return nil
+	}
+	return s.Code[pc-s.CodeBase:]
+}
+
+var slotMagic = [4]byte{'r', 'P', 'S', '1'}
+
+// Write serializes the slot stream.
+func (s *SlotStream) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(slotMagic[:]); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	name := []byte(s.Name)
+	writeU32(uint32(len(name)))
+	bw.Write(name)
+	writeU32(s.CodeBase)
+	writeU32(uint32(len(s.Code)))
+	bw.Write(s.Code)
+	writeU32(uint32(len(s.Slots)))
+	for i := range s.Slots {
+		r := &s.Slots[i]
+		writeU32(r.PC)
+		writeU32(r.NextPC)
+		bw.WriteByte(uint8(len(r.MemAddrs)))
+		for _, a := range r.MemAddrs {
+			writeU32(a)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSlots deserializes a stream written by SlotStream.Write.
+func ReadSlots(r io.Reader) (*SlotStream, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != slotMagic {
+		return nil, fmt.Errorf("trace: bad slot-stream magic %q", m)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	s := &SlotStream{}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	s.Name = string(name)
+	if s.CodeBase, err = readU32(); err != nil {
+		return nil, err
+	}
+	if n, err = readU32(); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("trace: unreasonable code size %d", n)
+	}
+	s.Code = make([]byte, n)
+	if _, err := io.ReadFull(br, s.Code); err != nil {
+		return nil, err
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	s.Slots = make([]SlotRec, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var rec SlotRec
+		if rec.PC, err = readU32(); err != nil {
+			return nil, err
+		}
+		if rec.NextPC, err = readU32(); err != nil {
+			return nil, err
+		}
+		na, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint8(0); j < na; j++ {
+			a, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			rec.MemAddrs = append(rec.MemAddrs, a)
+		}
+		s.Slots = append(s.Slots, rec)
+	}
+	return s, nil
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestSlotStreamRoundTrip(t *testing.T) {
+	in := &SlotStream{
+		Name:     "rt",
+		CodeBase: 0x40_0000,
+		Code:     []byte{0x90, 0x40, 0xC3},
+		Slots: []SlotRec{
+			{PC: 0x40_0000, NextPC: 0x40_0001},
+			{PC: 0x40_0001, NextPC: 0x40_0002, MemAddrs: []uint32{0x1000_0000, 0x1000_0004}},
+			{PC: 0x40_0002, NextPC: 0x40_0000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSlots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestSlotStreamBadMagic(t *testing.T) {
+	if _, err := ReadSlots(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestSlotStreamInstBytes(t *testing.T) {
+	s := &SlotStream{CodeBase: 0x100, Code: []byte{1, 2, 3}}
+	if b := s.InstBytes(0x101); len(b) != 2 || b[0] != 2 {
+		t.Errorf("InstBytes(0x101) = %v", b)
+	}
+	if s.InstBytes(0xFF) != nil || s.InstBytes(0x103) != nil {
+		t.Error("out-of-image PC returned bytes")
+	}
+}

@@ -8,6 +8,7 @@ package repro
 // b.ReportMetric; `cmd/replaysim` prints the full-budget versions.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -45,19 +46,19 @@ func BenchmarkSweepReuse(b *testing.B) {
 		profiles = append(profiles, p)
 	}
 	sweep := func(b *testing.B, o sim.Options) {
-		if _, err := sim.Fig6(profiles, o); err != nil {
+		if _, err := sim.Fig6(context.Background(), profiles, o); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.CycleBreakdown(profiles[:2], o); err != nil {
+		if _, err := sim.CycleBreakdown(context.Background(), profiles[:2], o); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.CycleBreakdown(profiles[2:], o); err != nil {
+		if _, err := sim.CycleBreakdown(context.Background(), profiles[2:], o); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.Table3(profiles, o); err != nil {
+		if _, err := sim.Table3(context.Background(), profiles, o); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.Fig9(profiles, o); err != nil {
+		if _, err := sim.Fig9(context.Background(), profiles, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +115,7 @@ func BenchmarkFig6IPC(b *testing.B) {
 			var rows []sim.Fig6Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = sim.Fig6([]workload.Profile{p}, benchOpts())
+				rows, err = sim.Fig6(context.Background(), []workload.Profile{p}, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -138,7 +139,7 @@ func benchBreakdown(b *testing.B, profiles []workload.Profile) {
 			var rows []sim.BreakdownRow
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = sim.CycleBreakdown([]workload.Profile{p}, benchOpts())
+				rows, err = sim.CycleBreakdown(context.Background(), []workload.Profile{p}, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -177,7 +178,7 @@ func BenchmarkTable3Removal(b *testing.B) {
 			var rows []sim.Table3Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = sim.Table3([]workload.Profile{p}, benchOpts())
+				rows, err = sim.Table3(context.Background(), []workload.Profile{p}, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -200,7 +201,7 @@ func BenchmarkFig9Scope(b *testing.B) {
 			var rows []sim.Fig9Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = sim.Fig9([]workload.Profile{p}, benchOpts())
+				rows, err = sim.Fig9(context.Background(), []workload.Profile{p}, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -217,7 +218,7 @@ func BenchmarkFig10Ablation(b *testing.B) {
 	var rows []sim.Fig10Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = sim.Fig10(benchOpts())
+		rows, err = sim.Fig10(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -243,7 +244,7 @@ func BenchmarkAblationOptimizerLatency(b *testing.B) {
 				var err error
 				o := benchOpts()
 				o.ConfigMod = func(c *pipeline.Config) { c.OptCyclesPerUOp = lat }
-				r, err = sim.RunWorkload(p, pipeline.ModeRePLayOpt, o)
+				r, err = sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -265,7 +266,7 @@ func BenchmarkAblationFrameSize(b *testing.B) {
 				var err error
 				o := benchOpts()
 				o.ConfigMod = func(c *pipeline.Config) { c.FrameCfg.MaxUOps = max }
-				r, err = sim.RunWorkload(p, pipeline.ModeRePLayOpt, o)
+				r, err = sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -288,7 +289,7 @@ func BenchmarkAblationBiasThreshold(b *testing.B) {
 				var err error
 				o := benchOpts()
 				o.ConfigMod = func(c *pipeline.Config) { c.FrameCfg.BiasThreshold = th }
-				r, err = sim.RunWorkload(p, pipeline.ModeRePLayOpt, o)
+				r, err = sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -315,7 +316,7 @@ func BenchmarkAblationSpeculation(b *testing.B) {
 				var err error
 				o := benchOpts()
 				o.ConfigMod = func(c *pipeline.Config) { c.OptOptions.Speculative = spec }
-				r, err = sim.RunWorkload(p, pipeline.ModeRePLayOpt, o)
+				r, err = sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -362,7 +363,7 @@ func BenchmarkAblationReschedule(b *testing.B) {
 				var err error
 				o := benchOpts()
 				o.ConfigMod = func(c *pipeline.Config) { c.OptReschedule = resched }
-				r, err = sim.RunWorkload(p, pipeline.ModeRePLayOpt, o)
+				r, err = sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o)
 				if err != nil {
 					b.Fatal(err)
 				}

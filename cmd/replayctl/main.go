@@ -1,0 +1,230 @@
+// Command replayctl is the replayd client and load generator: it
+// submits experiment requests (optionally many identical ones in
+// parallel, to exercise the daemon's coalescing), watches job progress,
+// and scrapes metrics.
+//
+// Usage:
+//
+//	replayctl -experiment fig6 [-workloads a,b] [-insts N] [-mode RPO]
+//	          [-n 8] [-async] [-json]
+//	replayctl -watch job-000001
+//	replayctl -metrics
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "replayd base URL")
+	experiment := flag.String("experiment", "summary", "experiment to request (fig6..fig10, table3, summary, cell)")
+	workloads := flag.String("workloads", "", "comma-separated workload subset")
+	insts := flag.Int("insts", 0, "per-trace instruction budget override")
+	warmup := flag.Float64("warmup", 0, "warmup fraction override")
+	mode := flag.String("mode", "", "processor mode for cell runs (IC, TC, RP, RPO)")
+	scope := flag.String("scope", "", "optimizer scope override (block, inter, frame)")
+	disable := flag.String("disable", "", "comma-separated optimizations to disable (asst,cp,cse,nop,ra,sf,spec)")
+	n := flag.Int("n", 1, "number of identical concurrent requests (coalescing load test)")
+	async := flag.Bool("async", false, "enqueue without waiting (POST /v1/jobs)")
+	jsonOut := flag.Bool("json", false, "print the raw result JSON only")
+	watch := flag.String("watch", "", "stream progress events of a job ID and exit")
+	metrics := flag.Bool("metrics", false, "print the daemon's /metrics and exit")
+	timeout := flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*addr, "/")
+
+	switch {
+	case *metrics:
+		if err := get(client, base+"/metrics", os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *watch != "":
+		if err := watchJob(base, *watch); err != nil {
+			fatal(err)
+		}
+	default:
+		req := api.RunRequest{
+			Experiment: *experiment,
+			Insts:      *insts,
+			WarmupFrac: *warmup,
+			Mode:       *mode,
+		}
+		if *workloads != "" {
+			req.Workloads = strings.Split(*workloads, ",")
+		}
+		if *scope != "" || *disable != "" {
+			cfg := &api.ConfigOverrides{OptScope: *scope}
+			if *disable != "" {
+				cfg.DisableOpts = strings.Split(*disable, ",")
+			}
+			req.Config = cfg
+		}
+		if err := run(client, base, req, *n, *async, *jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replayctl:", err)
+	os.Exit(1)
+}
+
+func get(client *http.Client, url string, w io.Writer) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// post sends the request to path and decodes the job it returns.
+func post(client *http.Client, url string, req api.RunRequest) (api.Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.Job{}, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return api.Job{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return api.Job{}, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return api.Job{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return api.Job{}, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	var j api.Job
+	if err := json.Unmarshal(b, &j); err != nil {
+		return api.Job{}, fmt.Errorf("decoding job: %w", err)
+	}
+	return j, nil
+}
+
+// run fires n identical requests concurrently and reports what the
+// daemon did with them (how many coalesced, wall time, result).
+func run(client *http.Client, base string, req api.RunRequest, n int, async, jsonOut bool) error {
+	path := base + "/v1/run"
+	if async {
+		path = base + "/v1/jobs"
+	}
+	if n < 1 {
+		n = 1
+	}
+	jobs := make([]api.Job, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs[i], errs[i] = post(client, path, req)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	coalesced := 0
+	ids := map[string]bool{}
+	for _, j := range jobs {
+		if j.Coalesced {
+			coalesced++
+		}
+		ids[j.ID] = true
+	}
+	final := jobs[0]
+	for _, j := range jobs {
+		if j.Result != nil {
+			final = j
+			break
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if final.Result != nil {
+			return enc.Encode(final.Result)
+		}
+		return enc.Encode(final)
+	}
+	if n > 1 {
+		fmt.Printf("%d requests -> %d distinct job(s), %d coalesced, wall %s\n",
+			n, len(ids), coalesced, wall.Round(time.Millisecond))
+	}
+	fmt.Printf("job %s  state=%s  key=%s\n", final.ID, final.State, final.Key)
+	if final.Error != "" {
+		fmt.Printf("error: %s\n", final.Error)
+	}
+	if final.Result != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(final.Result)
+	}
+	return nil
+}
+
+// watchJob tails the NDJSON event stream of one job. It uses an
+// untimed client: streams outlive the normal request timeout.
+func watchJob(base, id string) error {
+	c := &http.Client{}
+	resp, err := c.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e api.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return err
+		}
+		switch {
+		case e.Msg != "" && e.Total > 0:
+			fmt.Printf("[%3d/%3d] %s\n", e.Done, e.Total, e.Msg)
+		case e.Msg != "":
+			fmt.Println(e.Msg)
+		default:
+			fmt.Printf("state: %s\n", e.State)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,83 @@
+// Command replayd serves the paper's experiments as a long-lived HTTP
+// JSON service with a bounded job queue, request coalescing, live
+// metrics, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	replayd [-addr :8080] [-workers 2] [-queue 64] [-max-insts N]
+//	        [-memo-entries N] [-capture-entries N] [-capture-bytes N]
+//	        [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/run             run an experiment, wait for the result
+//	POST /v1/jobs            enqueue asynchronously, returns the job
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/events NDJSON progress stream
+//	GET  /v1/workloads       the Table 1 workload set
+//	GET  /metrics            Prometheus text metrics
+//	GET  /healthz            liveness (503 while draining)
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent jobs (each job parallelizes across CPUs internally)")
+	queue := flag.Int("queue", 64, "bound on jobs accepted but not yet running")
+	maxInsts := flag.Int("max-insts", 0, "cap on a request's per-trace instruction budget (0 = none)")
+	memoEntries := flag.Int("memo-entries", sim.DefaultMemoEntries, "run-memo entry budget")
+	captureEntries := flag.Int("capture-entries", sim.DefaultCaptureEntries, "capture-cache entry budget")
+	captureBytes := flag.Int64("capture-bytes", sim.DefaultCaptureBytes, "capture-cache byte budget")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	sim.SetMemoLimit(*memoEntries)
+	sim.SetCaptureLimits(*captureEntries, *captureBytes)
+
+	core := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxInsts:   *maxInsts,
+	})
+	hs := &http.Server{Addr: *addr, Handler: core.Handler()}
+
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		got := <-sig
+		log.Printf("replayd: %s received, draining (timeout %s)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Drain the job queue first so synchronous waiters get their
+		// results, then stop the listener (which waits for handlers).
+		if err := core.Shutdown(ctx); err != nil {
+			log.Printf("replayd: job drain incomplete: %v", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("replayd: http shutdown: %v", err)
+		}
+		close(idle)
+	}()
+
+	log.Printf("replayd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("replayd: %v", err)
+	}
+	<-idle
+	log.Printf("replayd: drained, exiting")
+}

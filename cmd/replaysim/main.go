@@ -10,12 +10,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro"
+	"repro/internal/api"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
@@ -26,6 +28,8 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
 	cache := flag.Bool("cache", true,
 		"share slot-stream captures across modes and memoize repeated runs (identical output, much faster -experiment all)")
+	jsonOut := flag.Bool("json", false,
+		"emit each experiment's rows as JSON in the replayd wire format (fig6..fig10, table3, summary; one object per line with -experiment all)")
 	flag.Parse()
 
 	opts := repro.ExpOptions{InstructionBudget: *insts, DisableCache: !*cache}
@@ -40,29 +44,31 @@ func main() {
 	case "table2":
 		table2()
 	case "fig6":
-		err = fig6(opts)
+		err = fig6(opts, *jsonOut)
 	case "fig7":
-		err = breakdown(opts, true)
+		err = breakdown(opts, true, *jsonOut)
 	case "fig8":
-		err = breakdown(opts, false)
+		err = breakdown(opts, false, *jsonOut)
 	case "table3":
-		err = table3(opts)
+		err = table3(opts, *jsonOut)
 	case "fig9":
-		err = fig9(opts)
+		err = fig9(opts, *jsonOut)
 	case "fig10":
-		err = fig10(opts)
+		err = fig10(opts, *jsonOut)
 	case "summary":
-		err = summary(opts)
+		err = summary(opts, *jsonOut)
 	case "all":
-		table1()
-		table2()
+		if !*jsonOut {
+			table1()
+			table2()
+		}
 		for _, f := range []func() error{
-			func() error { return fig6(opts) },
-			func() error { return breakdown(opts, true) },
-			func() error { return breakdown(opts, false) },
-			func() error { return table3(opts) },
-			func() error { return fig9(opts) },
-			func() error { return fig10(opts) },
+			func() error { return fig6(opts, *jsonOut) },
+			func() error { return breakdown(opts, true, *jsonOut) },
+			func() error { return breakdown(opts, false, *jsonOut) },
+			func() error { return table3(opts, *jsonOut) },
+			func() error { return fig9(opts, *jsonOut) },
+			func() error { return fig10(opts, *jsonOut) },
 		} {
 			if err = f(); err != nil {
 				break
@@ -107,10 +113,21 @@ func table2() {
 	fmt.Println()
 }
 
-func fig6(opts repro.ExpOptions) error {
+// emitJSON prints one experiment response in the replayd wire format,
+// so scripted consumers parse CLI and daemon output identically.
+func emitJSON(res api.RunResponse) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(res)
+}
+
+func fig6(opts repro.ExpOptions, jsonOut bool) error {
 	rows, err := repro.Figure6(opts)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpFig6, Fig6: rows})
 	}
 	fmt.Println("== Figure 6: x86 Instructions Retired Per Cycle (IC / TC / RP / RPO) ==")
 	t := stats.NewTable("Workload", "IC", "TC", "RP", "RPO", "RPO vs RP")
@@ -130,18 +147,26 @@ func fig6(opts repro.ExpOptions) error {
 	return nil
 }
 
-func breakdown(opts repro.ExpOptions, spec bool) error {
+func breakdown(opts repro.ExpOptions, spec bool, jsonOut bool) error {
 	var rows []repro.BreakdownRow
 	var err error
+	exp := api.ExpFig8
 	if spec {
-		fmt.Println("== Figure 7: Execution cycles by fetch event (SPEC), RP vs RPO ==")
+		exp = api.ExpFig7
 		rows, err = repro.Figure7(opts)
 	} else {
-		fmt.Println("== Figure 8: Execution cycles by fetch event (desktop), RP vs RPO ==")
 		rows, err = repro.Figure8(opts)
 	}
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: exp, Breakdown: rows})
+	}
+	if spec {
+		fmt.Println("== Figure 7: Execution cycles by fetch event (SPEC), RP vs RPO ==")
+	} else {
+		fmt.Println("== Figure 8: Execution cycles by fetch event (desktop), RP vs RPO ==")
 	}
 	t := stats.NewTable("Workload", "Cfg", "Cycles", "assert", "mispred", "miss", "stall", "wait", "frame", "icache")
 	var maxCycles float64
@@ -185,10 +210,13 @@ func breakdown(opts repro.ExpOptions, spec bool) error {
 	return nil
 }
 
-func table3(opts repro.ExpOptions) error {
+func table3(opts repro.ExpOptions, jsonOut bool) error {
 	rows, err := repro.Table3Data(opts)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpTable3, Table3: rows})
 	}
 	fmt.Println("== Table 3: Micro-ops and LOADs removed by the rePLay optimizer ==")
 	t := stats.NewTable("Application", "Micro-ops Removed", "Loads Removed", "Increase in IPC", "Coverage", "Abort rate")
@@ -211,10 +239,13 @@ func table3(opts repro.ExpOptions) error {
 	return nil
 }
 
-func fig9(opts repro.ExpOptions) error {
+func fig9(opts repro.ExpOptions, jsonOut bool) error {
 	rows, err := repro.Figure9(opts)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpFig9, Fig9: rows})
 	}
 	fmt.Println("== Figure 9: % IPC speedup, intra-block vs frame-level optimization ==")
 	t := stats.NewTable("Workload", "Block", "Frame")
@@ -226,10 +257,13 @@ func fig9(opts repro.ExpOptions) error {
 	return nil
 }
 
-func fig10(opts repro.ExpOptions) error {
+func fig10(opts repro.ExpOptions, jsonOut bool) error {
 	rows, err := repro.Figure10(opts)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpFig10, Fig10: rows})
 	}
 	fmt.Println("== Figure 10: Relative IPC with individual optimizations disabled ==")
 	fmt.Println("(0 = RP, 1 = RPO with all optimizations)")
@@ -252,7 +286,7 @@ func fig10(opts repro.ExpOptions) error {
 	return nil
 }
 
-func summary(opts repro.ExpOptions) error {
+func summary(opts repro.ExpOptions, jsonOut bool) error {
 	rows, err := repro.Figure6(opts)
 	if err != nil {
 		return err
@@ -260,6 +294,9 @@ func summary(opts repro.ExpOptions) error {
 	t3, err := repro.Table3Data(opts)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpSummary, Fig6: rows, Table3: t3})
 	}
 	fmt.Println("== Summary (calibration view) ==")
 	t := stats.NewTable("Workload", "IC", "TC", "RP", "RPO", "dIPC", "uops-", "loads-", "cover", "abort")

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -88,7 +90,7 @@ func RunCustom(spec WorkloadSpec, mode Mode, options ...Option) (Result, error) 
 	for _, o := range options {
 		o(&rc)
 	}
-	r, err := sim.RunWorkload(spec.profile(), mode, rc.opts)
+	r, err := sim.RunWorkload(context.Background(), spec.profile(), mode, rc.opts)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,6 +32,17 @@ type ExpOptions struct {
 	// Results are identical either way; the sweep just re-executes
 	// everything. See sim.Options.DisableCache.
 	DisableCache bool
+	// Context, when non-nil, cancels the sweep early: in-flight
+	// simulations stop at the next fetch-group boundary and the sweep
+	// returns the context's error.
+	Context context.Context
+}
+
+func (o ExpOptions) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o ExpOptions) profiles() ([]workload.Profile, error) {
@@ -57,7 +70,7 @@ func Figure6(o ExpOptions) ([]Fig6Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Fig6(ps, o.simOptions())
+	return sim.Fig6(o.ctx(), ps, o.simOptions())
 }
 
 // Figure7 regenerates Figure 7: the per-SPEC-benchmark cycle breakdown.
@@ -69,7 +82,7 @@ func Figure7(o ExpOptions) ([]BreakdownRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.CycleBreakdown(ps, o.simOptions())
+	return sim.CycleBreakdown(o.ctx(), ps, o.simOptions())
 }
 
 // Figure8 regenerates Figure 8: the desktop-application cycle breakdown.
@@ -84,7 +97,7 @@ func Figure8(o ExpOptions) ([]BreakdownRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.CycleBreakdown(ps, o.simOptions())
+	return sim.CycleBreakdown(o.ctx(), ps, o.simOptions())
 }
 
 // Table3Data regenerates Table 3: micro-ops and loads removed, and the
@@ -94,7 +107,7 @@ func Table3Data(o ExpOptions) ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Table3(ps, o.simOptions())
+	return sim.Table3(o.ctx(), ps, o.simOptions())
 }
 
 // Figure9 regenerates Figure 9: intra-block versus frame-level
@@ -104,11 +117,11 @@ func Figure9(o ExpOptions) ([]Fig9Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Fig9(ps, o.simOptions())
+	return sim.Fig9(o.ctx(), ps, o.simOptions())
 }
 
 // Figure10 regenerates Figure 10: performance with each optimization
 // individually disabled, on the paper's five-application subset.
 func Figure10(o ExpOptions) ([]Fig10Row, error) {
-	return sim.Fig10(o.simOptions())
+	return sim.Fig10(o.ctx(), o.simOptions())
 }

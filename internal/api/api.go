@@ -1,0 +1,264 @@
+// Package api defines the wire types of the replayd HTTP JSON API: the
+// experiment request, its canonical (coalescing) form, job status and
+// progress events, and the response rows. The rows reuse the driver's
+// experiment types directly, so replayd responses, replayctl output and
+// replaysim -json all serialize identically.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Experiment names accepted by RunRequest.Experiment.
+const (
+	ExpFig6    = "fig6"
+	ExpFig7    = "fig7"
+	ExpFig8    = "fig8"
+	ExpFig9    = "fig9"
+	ExpFig10   = "fig10"
+	ExpTable3  = "table3"
+	ExpSummary = "summary"
+	// ExpCell runs raw (workload, mode) simulation cells instead of a
+	// whole figure: one cell per requested workload under Mode.
+	ExpCell = "cell"
+)
+
+// Experiments lists every accepted experiment name.
+var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell}
+
+// ConfigOverrides carries the per-request Table 2 edits the service
+// accepts. Zero fields keep the mode's default; the names mirror
+// pipeline.Config.
+type ConfigOverrides struct {
+	// OptScope: "block", "inter" or "frame".
+	OptScope string `json:"opt_scope,omitempty"`
+	// DisableOpts disables optimizations by name:
+	// asst, cp, cse, nop, ra, sf, spec.
+	DisableOpts []string `json:"disable_opts,omitempty"`
+
+	Width           int `json:"width,omitempty"`
+	WindowSize      int `json:"window_size,omitempty"`
+	FrameCacheUOps  int `json:"frame_cache_uops,omitempty"`
+	MaxFrameUOps    int `json:"max_frame_uops,omitempty"`
+	OptCyclesPerUOp int `json:"opt_cycles_per_uop,omitempty"`
+	OptPipeDepth    int `json:"opt_pipe_depth,omitempty"`
+}
+
+// RunRequest asks the service for one experiment over the workload set.
+type RunRequest struct {
+	// Experiment is one of the Experiments names.
+	Experiment string `json:"experiment"`
+	// Workloads restricts the sweep; empty means the experiment's
+	// default set (all 14 applications, or the paper's subset for
+	// fig7/fig8/fig10).
+	Workloads []string `json:"workloads,omitempty"`
+	// Insts overrides the per-trace x86 instruction budget when > 0.
+	Insts int `json:"insts,omitempty"`
+	// WarmupFrac overrides the warmup fraction when > 0.
+	WarmupFrac float64 `json:"warmup_frac,omitempty"`
+	// Mode selects the processor configuration for cell runs:
+	// IC, TC, RP or RPO (default RPO).
+	Mode string `json:"mode,omitempty"`
+	// Config applies Table 2 overrides before the run.
+	Config *ConfigOverrides `json:"config,omitempty"`
+}
+
+// Canonical returns the request in canonical form: names are trimmed
+// and case-folded, defaults that affect identity are filled in, and the
+// optimization-disable list is sorted and deduplicated. Two requests
+// for the same underlying work canonicalize equal.
+func (r RunRequest) Canonical() RunRequest {
+	c := r
+	c.Experiment = strings.ToLower(strings.TrimSpace(r.Experiment))
+	c.Mode = strings.ToUpper(strings.TrimSpace(r.Mode))
+	if c.Experiment == ExpCell && c.Mode == "" {
+		c.Mode = "RPO"
+	}
+	if c.Experiment != ExpCell {
+		c.Mode = ""
+	}
+	if c.Experiment == ExpFig10 {
+		// Figure 10 runs the paper's fixed five-application subset; a
+		// workload list would be silently ignored, so it must not split
+		// the coalescing key.
+		r.Workloads = nil
+	}
+	if len(r.Workloads) > 0 {
+		ws := make([]string, 0, len(r.Workloads))
+		for _, w := range r.Workloads {
+			if w = strings.ToLower(strings.TrimSpace(w)); w != "" {
+				ws = append(ws, w)
+			}
+		}
+		c.Workloads = ws
+	} else {
+		c.Workloads = nil
+	}
+	if r.Config != nil {
+		cfg := *r.Config
+		cfg.OptScope = strings.ToLower(strings.TrimSpace(cfg.OptScope))
+		if len(cfg.DisableOpts) > 0 {
+			ds := make([]string, 0, len(cfg.DisableOpts))
+			for _, d := range cfg.DisableOpts {
+				if d = strings.ToLower(strings.TrimSpace(d)); d != "" {
+					ds = append(ds, d)
+				}
+			}
+			sort.Strings(ds)
+			ds = dedupe(ds)
+			cfg.DisableOpts = ds
+		}
+		if cfg.isZero() {
+			c.Config = nil
+		} else {
+			c.Config = &cfg
+		}
+	}
+	return c
+}
+
+// isZero reports whether the overrides carry no edits, so an explicit
+// empty config coalesces with an absent one.
+func (c ConfigOverrides) isZero() bool {
+	return c.OptScope == "" && len(c.DisableOpts) == 0 &&
+		c.Width == 0 && c.WindowSize == 0 && c.FrameCacheUOps == 0 &&
+		c.MaxFrameUOps == 0 && c.OptCyclesPerUOp == 0 && c.OptPipeDepth == 0
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Key is the coalescing identity of the request: the JSON encoding of
+// its canonical form. Concurrent submissions with equal keys share one
+// execution.
+func (r RunRequest) Key() string {
+	b, err := json.Marshal(r.Canonical())
+	if err != nil {
+		// Every field is a plain value type; Marshal cannot fail.
+		panic("api: marshal canonical request: " + err.Error())
+	}
+	return string(b)
+}
+
+// Validate rejects unknown experiment or mode names up front, before
+// the request is queued.
+func (r RunRequest) Validate() error {
+	c := r.Canonical()
+	known := false
+	for _, e := range Experiments {
+		if c.Experiment == e {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (want one of %s)", r.Experiment, strings.Join(Experiments, ", "))
+	}
+	if c.Experiment == ExpCell {
+		if _, err := ParseMode(c.Mode); err != nil {
+			return err
+		}
+	}
+	if c.Config != nil {
+		switch c.Config.OptScope {
+		case "", "block", "inter", "frame":
+		default:
+			return fmt.Errorf("unknown opt_scope %q (want block, inter or frame)", c.Config.OptScope)
+		}
+		for _, d := range c.Config.DisableOpts {
+			switch d {
+			case "asst", "cp", "cse", "nop", "ra", "sf", "spec":
+			default:
+				return fmt.Errorf("unknown optimization %q in disable_opts", d)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseMode maps a wire mode name to the pipeline configuration.
+func ParseMode(s string) (pipeline.Mode, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "IC":
+		return pipeline.ModeICache, nil
+	case "TC":
+		return pipeline.ModeTraceCache, nil
+	case "RP":
+		return pipeline.ModeRePLay, nil
+	case "", "RPO":
+		return pipeline.ModeRePLayOpt, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want IC, TC, RP or RPO)", s)
+}
+
+// Cell is one raw (workload, mode) simulation result.
+type Cell struct {
+	Workload string         `json:"workload"`
+	Class    string         `json:"class"`
+	Mode     string         `json:"mode"`
+	IPC      float64        `json:"ipc"`
+	Stats    pipeline.Stats `json:"stats"`
+}
+
+// RunResponse carries an experiment's rows. Exactly the fields the
+// experiment produces are set: fig7/fig8 fill Breakdown, summary fills
+// Fig6 and Table3 together, cell fills Cells.
+type RunResponse struct {
+	Experiment string             `json:"experiment"`
+	Fig6       []sim.Fig6Row      `json:"fig6,omitempty"`
+	Breakdown  []sim.BreakdownRow `json:"breakdown,omitempty"`
+	Table3     []sim.Table3Row    `json:"table3,omitempty"`
+	Fig9       []sim.Fig9Row      `json:"fig9,omitempty"`
+	Fig10      []sim.Fig10Row     `json:"fig10,omitempty"`
+	Cells      []Cell             `json:"cells,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is the wire view of one queued/running/finished job.
+type Job struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Coalesced is set on submission responses when the request
+	// attached to an already in-flight job instead of enqueuing a new
+	// one.
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Result    *RunResponse `json:"result,omitempty"`
+	QueuedAt  time.Time    `json:"queued_at"`
+	StartedAt time.Time    `json:"started_at"`
+	DoneAt    time.Time    `json:"done_at"`
+}
+
+// Event is one line of a job's progress stream.
+type Event struct {
+	Seq   int    `json:"seq"`
+	State string `json:"state,omitempty"`
+	// Msg describes the completed step, e.g. "bzip2/RPO done".
+	Msg string `json:"msg,omitempty"`
+	// Done/Total count completed simulation runs when known.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}

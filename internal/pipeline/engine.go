@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/frame"
 	"repro/internal/opt"
@@ -433,8 +435,28 @@ func (e *Engine) feedConstructor(s *Slot) {
 // Run drives the engine until the stream ends or maxInsts instructions
 // retire. It returns the retired instruction count.
 func (e *Engine) Run(maxInsts uint64) uint64 {
+	n, _ := e.RunContext(nil, maxInsts)
+	return n
+}
+
+// cancelCheckMask sets how often RunContext polls the context: once per
+// 2^10 fetch iterations, so cancellation lands within microseconds of
+// simulated work while the hot loop stays branch-predictable.
+const cancelCheckMask = 1<<10 - 1
+
+// RunContext is Run with cooperative cancellation: when ctx is done the
+// engine stops at the next fetch-group boundary and reports ctx.Err().
+// The engine's state stays consistent — a later RunContext call resumes
+// exactly where the canceled one stopped. A nil ctx is allowed and makes
+// RunContext equivalent to Run.
+func (e *Engine) RunContext(ctx context.Context, maxInsts uint64) (uint64, error) {
 	start := e.stats.X86Retired
-	for e.stats.X86Retired-start < maxInsts {
+	for iter := 0; e.stats.X86Retired-start < maxInsts; iter++ {
+		if ctx != nil && iter&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return e.stats.X86Retired - start, err
+			}
+		}
 		s, ok := e.peek()
 		if !ok {
 			break
@@ -466,7 +488,7 @@ func (e *Engine) Run(maxInsts uint64) uint64 {
 			e.fetchICache()
 		}
 	}
-	return e.stats.X86Retired - start
+	return e.stats.X86Retired - start, nil
 }
 
 // switchTo charges the cache-switch turnaround when the fetch source

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// serviceMetrics are replayd's own counters; the /metrics endpoint
+// combines them with the sim layer's cache counters and the aggregate
+// pipeline statistics of every run this process executed.
+type serviceMetrics struct {
+	requests     atomic.Uint64 // submissions, coalesced ones included
+	coalesced    atomic.Uint64 // submissions served by an in-flight job
+	rejected     atomic.Uint64 // queue-full rejections
+	jobsDone     atomic.Uint64
+	jobsFailed   atomic.Uint64
+	jobsCanceled atomic.Uint64
+	busyWorkers  atomic.Int64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued := s.queuedJobs
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := stats.NewProm(w)
+
+	p.Counter("replayd_requests_total", "Experiment submissions accepted for coalescing or queueing.", float64(s.met.requests.Load()))
+	p.Counter("replayd_coalesced_hits_total", "Submissions attached to an already in-flight identical job.", float64(s.met.coalesced.Load()))
+	p.Counter("replayd_rejected_total", "Submissions rejected because the job queue was full.", float64(s.met.rejected.Load()))
+	p.Counter("replayd_jobs_done_total", "Jobs finished successfully.", float64(s.met.jobsDone.Load()))
+	p.Counter("replayd_jobs_failed_total", "Jobs finished with an error.", float64(s.met.jobsFailed.Load()))
+	p.Counter("replayd_jobs_canceled_total", "Jobs canceled before completion.", float64(s.met.jobsCanceled.Load()))
+	p.Gauge("replayd_queue_depth", "Jobs accepted but not yet running.", float64(queued))
+	p.Gauge("replayd_queue_capacity", "Bound on jobs accepted but not yet running.", float64(s.cfg.QueueDepth))
+	p.Gauge("replayd_workers", "Size of the job worker pool.", float64(s.cfg.Workers))
+	p.Gauge("replayd_workers_busy", "Workers currently executing a job.", float64(s.met.busyWorkers.Load()))
+
+	m := sim.SnapshotMetrics()
+	p.Counter("replayd_sim_runs_executed_total", "Simulations executed to completion (memo misses).", float64(m.RunsExecuted))
+	p.Counter("replayd_sim_memo_hits_total", "Runs served from the run memo.", float64(m.MemoHits))
+	p.Counter("replayd_sim_capture_builds_total", "Slot streams interpreted into shared captures.", float64(m.CaptureBuilds))
+	p.Counter("replayd_sim_capture_hits_total", "Capture lookups served from a live recording.", float64(m.CaptureHits))
+	p.Gauge("replayd_sim_memo_entries", "Run-memo occupancy.", float64(m.MemoEntries))
+	p.Gauge("replayd_sim_memo_entry_limit", "Run-memo entry budget.", float64(m.MemoLimit))
+	p.Gauge("replayd_sim_capture_entries", "Capture-cache occupancy.", float64(m.CaptureEntries))
+	p.Gauge("replayd_sim_capture_bytes", "Approximate capture-cache residency in bytes.", float64(m.CaptureBytes))
+	p.Gauge("replayd_sim_capture_entry_limit", "Capture-cache entry budget.", float64(m.CaptureEntryLimit))
+	p.Gauge("replayd_sim_capture_byte_limit", "Capture-cache byte budget.", float64(m.CaptureByteLimit))
+
+	// Aggregate pipeline statistics over every executed run, so one
+	// scrape shows both how busy the service is and what the simulated
+	// machines did.
+	agg := &m.Aggregate
+	p.Counter("replayd_pipeline_cycles_total", "Simulated cycles across executed runs.", float64(agg.Cycles))
+	p.Counter("replayd_pipeline_x86_retired_total", "Retired x86 instructions across executed runs.", float64(agg.X86Retired))
+	p.Counter("replayd_pipeline_uops_retired_total", "Retired micro-ops across executed runs.", float64(agg.UOpsRetired))
+	p.Counter("replayd_pipeline_uops_baseline_total", "Baseline (unoptimized) micro-ops across executed runs.", float64(agg.UOpsBaseline))
+	p.Counter("replayd_pipeline_loads_retired_total", "Retired loads across executed runs.", float64(agg.LoadsRetired))
+	p.Counter("replayd_pipeline_loads_baseline_total", "Baseline loads across executed runs.", float64(agg.LoadsBaseline))
+	p.Counter("replayd_pipeline_mispredicts_total", "Branch mispredictions across executed runs.", float64(agg.Mispredicts))
+	p.Counter("replayd_pipeline_frame_fetches_total", "Frame-cache fetches across executed runs.", float64(agg.FrameFetches))
+	p.Counter("replayd_pipeline_frame_commits_total", "Committed frames across executed runs.", float64(agg.FrameCommits))
+	p.Counter("replayd_pipeline_frame_aborts_total", "Aborted frames across executed runs.", float64(agg.FrameAborts))
+	p.Counter("replayd_pipeline_frames_constructed_total", "Frames constructed across executed runs.", float64(agg.FramesConstructed))
+	p.Counter("replayd_pipeline_frames_optimized_total", "Frames optimized across executed runs.", float64(agg.FramesOptimized))
+}

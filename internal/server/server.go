@@ -1,0 +1,560 @@
+// Package server implements replayd: the paper's experiment harness
+// exposed as a long-lived HTTP JSON service. Requests are canonicalized
+// to a coalescing key (api.RunRequest.Key), deduplicated singleflight-
+// style against in-flight work, queued into a bounded job queue, and
+// executed by a fixed worker pool; the process-wide slot-stream capture
+// and run-memo layers in internal/sim then make even non-concurrent
+// repeats cheap. Jobs stream progress events, cancel when their last
+// interested client disconnects, and drain on graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Runner executes one canonicalized request, reporting progress through
+// events. The default is SimRunner; tests substitute instrumented
+// wrappers.
+type Runner func(ctx context.Context, req api.RunRequest, progress func(api.Event)) (*api.RunResponse, error)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (each job
+	// itself fans out across CPUs through sim's run scheduler).
+	// Default 2.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; submissions
+	// beyond it are rejected with 503. Default 64.
+	QueueDepth int
+	// MaxInsts caps the per-trace instruction budget a request may ask
+	// for (0 = no cap).
+	MaxInsts int
+	// KeepFinished bounds how many finished jobs stay queryable.
+	// Default 256.
+	KeepFinished int
+	// Runner overrides the execution backend (tests). Default SimRunner.
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.KeepFinished <= 0 {
+		c.KeepFinished = 256
+	}
+	if c.Runner == nil {
+		c.Runner = SimRunner
+	}
+	return c
+}
+
+// job is one unit of queued/running/finished work plus everything the
+// HTTP layer observes about it.
+type job struct {
+	id  string
+	key string
+	req api.RunRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// waiters counts clients whose disconnect should cancel the job;
+	// detached marks jobs somebody wants regardless (async submissions).
+	// Both are guarded by the server mutex.
+	waiters  int
+	detached bool
+
+	mu        sync.Mutex
+	events    []api.Event
+	notify    chan struct{} // closed and replaced on every append
+	state     string
+	err       error
+	result    *api.RunResponse
+	queuedAt  time.Time
+	startedAt time.Time
+	doneAt    time.Time
+	done      chan struct{}
+}
+
+func (j *job) appendEvent(e api.Event) {
+	j.mu.Lock()
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// eventsSince returns the events at index >= from and a channel that
+// closes when more arrive.
+func (j *job) eventsSince(from int) ([]api.Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []api.Event
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.notify
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	if state == api.StateRunning {
+		j.startedAt = time.Now()
+	}
+	j.mu.Unlock()
+	j.appendEvent(api.Event{State: state})
+}
+
+func (j *job) finish(res *api.RunResponse, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = api.StateDone
+		j.result = res
+	case errors.Is(err, context.Canceled):
+		j.state = api.StateCanceled
+		j.err = err
+	default:
+		j.state = api.StateFailed
+		j.err = err
+	}
+	j.doneAt = time.Now()
+	state := j.state
+	j.mu.Unlock()
+	j.appendEvent(api.Event{State: state})
+	close(j.done)
+}
+
+// view renders the job's wire form.
+func (j *job) view() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := api.Job{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		Result:    j.result,
+		QueuedAt:  j.queuedAt,
+		StartedAt: j.startedAt,
+		DoneAt:    j.doneAt,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// Server is the replayd service core, independent of the listening
+// socket: it exposes an http.Handler and a drain-style Shutdown.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	inflight   map[string]*job // coalescing index: queued or running jobs by key
+	finished   []string        // finish order, for KeepFinished eviction
+	nextID     int
+	draining   bool
+	queuedJobs int // accepted but not yet started
+
+	queue    chan *job
+	workerWG sync.WaitGroup
+
+	mux *http.ServeMux
+	met serviceMetrics
+}
+
+// New starts a server core: the worker pool is live on return.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*job{},
+		inflight:   map[string]*job{},
+		queue:      make(chan *job, cfg.QueueDepth),
+		mux:        http.NewServeMux(),
+	}
+	s.routes()
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// errSubmit carries an HTTP status for submission failures.
+type errSubmit struct {
+	status int
+	msg    string
+}
+
+func (e *errSubmit) Error() string { return e.msg }
+
+// submit canonicalizes, validates and enqueues a request — or attaches
+// to an in-flight job with the same key (the coalescing path). detached
+// submissions keep the job alive with no waiting client; non-detached
+// callers must pair with releaseWaiter.
+func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
+	if err := req.Validate(); err != nil {
+		return nil, false, &errSubmit{http.StatusBadRequest, err.Error()}
+	}
+	c := req.Canonical()
+	if s.cfg.MaxInsts > 0 && c.Insts > s.cfg.MaxInsts {
+		return nil, false, &errSubmit{http.StatusBadRequest,
+			fmt.Sprintf("insts %d exceeds the server cap %d", c.Insts, s.cfg.MaxInsts)}
+	}
+	if err := validateWorkloads(c); err != nil {
+		return nil, false, &errSubmit{http.StatusBadRequest, err.Error()}
+	}
+	key := c.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met.requests.Add(1)
+
+	if j, ok := s.inflight[key]; ok {
+		s.met.coalesced.Add(1)
+		if detached {
+			j.detached = true
+		} else {
+			j.waiters++
+		}
+		return j, true, nil
+	}
+	if s.draining {
+		return nil, false, &errSubmit{http.StatusServiceUnavailable, "server is draining"}
+	}
+
+	s.nextID++
+	jctx, jcancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.nextID),
+		key:      key,
+		req:      c,
+		ctx:      jctx,
+		cancel:   jcancel,
+		detached: detached,
+		state:    api.StateQueued,
+		notify:   make(chan struct{}),
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if !detached {
+		j.waiters = 1
+	}
+	select {
+	case s.queue <- j:
+	default:
+		jcancel()
+		s.met.rejected.Add(1)
+		return nil, false, &errSubmit{http.StatusServiceUnavailable,
+			fmt.Sprintf("job queue full (%d queued)", s.cfg.QueueDepth)}
+	}
+	s.jobs[j.id] = j
+	s.inflight[key] = j
+	s.queuedJobs++
+	j.appendEvent(api.Event{State: api.StateQueued})
+	return j, false, nil
+}
+
+// releaseWaiter drops one waiting client; when the last one leaves a
+// job nobody submitted asynchronously, the job is canceled so its
+// simulations stop burning cycles for an absent audience.
+func (s *Server) releaseWaiter(j *job) {
+	s.mu.Lock()
+	j.waiters--
+	cancel := j.waiters <= 0 && !j.detached
+	s.mu.Unlock()
+	if cancel {
+		select {
+		case <-j.done:
+			// Finished in the meantime; nothing to stop.
+		default:
+			j.cancel()
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+func (s *Server) execute(j *job) {
+	s.mu.Lock()
+	s.queuedJobs--
+	s.mu.Unlock()
+
+	if err := j.ctx.Err(); err != nil {
+		s.settle(j, nil, err)
+		return
+	}
+	s.met.busyWorkers.Add(1)
+	j.setState(api.StateRunning)
+	res, err := s.cfg.Runner(j.ctx, j.req, j.appendEvent)
+	s.met.busyWorkers.Add(-1)
+	s.settle(j, res, err)
+}
+
+// settle finishes the job, removes it from the coalescing index and
+// evicts old finished jobs beyond the retention bound.
+func (s *Server) settle(j *job, res *api.RunResponse, err error) {
+	j.finish(res, err)
+	j.cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	switch {
+	case err == nil:
+		s.met.jobsDone.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.met.jobsCanceled.Add(1)
+	default:
+		s.met.jobsFailed.Add(1)
+	}
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.KeepFinished {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Shutdown drains the service: new submissions are rejected, queued and
+// running jobs are given until ctx expires to finish, then everything
+// left is canceled. It returns nil on a clean drain and ctx's error
+// otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var se *errSubmit
+	if errors.As(err, &se) {
+		writeJSON(w, se.status, map[string]string{"error": se.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+func decodeRequest(r *http.Request) (api.RunRequest, error) {
+	var req api.RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, &errSubmit{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	return req, nil
+}
+
+// handleSubmit enqueues asynchronously: the job runs to completion even
+// if no client ever polls it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, coalesced, err := s.submit(req, true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	v := j.view()
+	v.Coalesced = coalesced
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleRun is the synchronous path: submit (or coalesce), then wait
+// for the result. A client disconnect releases its interest; the last
+// one out cancels the job's simulations.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, coalesced, err := s.submit(req, false)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+		s.releaseWaiter(j)
+		v := j.view()
+		v.Coalesced = coalesced
+		status := http.StatusOK
+		if v.State == api.StateFailed {
+			status = http.StatusInternalServerError
+		} else if v.State == api.StateCanceled {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, v)
+	case <-r.Context().Done():
+		s.releaseWaiter(j)
+		// The client is gone; nothing useful to write.
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	views := make([]api.Job, 0, len(jobs))
+	for _, j := range jobs {
+		v := j.view()
+		v.Result = nil // keep listings light
+		views = append(views, v)
+	}
+	// Deterministic order: by ID (zero-padded, so lexicographic works).
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && views[k].ID < views[k-1].ID; k-- {
+			views[k], views[k-1] = views[k-1], views[k]
+		}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleEvents streams the job's progress as newline-delimited JSON
+// until the job finishes or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, more := j.eventsSince(next)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if fl != nil {
+			fl.Flush()
+		}
+		select {
+		case <-j.done:
+			// Drain anything appended between the last read and done.
+			evs, _ := j.eventsSince(next)
+			for _, e := range evs {
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

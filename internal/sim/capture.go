@@ -140,11 +140,14 @@ func profileFingerprint(p *workload.Profile) string {
 	return fmt.Sprintf("%#v", *p)
 }
 
-// maxLiveCaptures bounds the capture cache's memory. A full-budget
-// columnar recording is a few MB, so the bound comfortably covers every
-// (workload, trace) of the paper's sweep — later figures replay instead
-// of re-interpreting — while still capping custom-workload hosts.
-const maxLiveCaptures = 32
+// Default capture-cache budgets. A full-budget columnar recording is a
+// few MB, so the defaults comfortably cover every (workload, trace) of
+// the paper's sweep — later figures replay instead of re-interpreting —
+// while still capping long-lived custom-workload hosts.
+const (
+	DefaultCaptureEntries = 32
+	DefaultCaptureBytes   = 256 << 20
+)
 
 type captureKey struct {
 	profile string
@@ -156,19 +159,42 @@ type captureEntry struct {
 	once   sync.Once
 	rec    *recordedStream
 	genErr error
+	bytes  int64 // approximate residency, set once the recording exists
+}
+
+// sizeBytes estimates a recording's heap residency: the columnar slot
+// arrays exactly, the shared decode/translation maps by per-entry
+// constants (an x86.Inst is ~48 bytes, a uop.UOp ~24).
+func (rec *recordedStream) sizeBytes() int64 {
+	b := int64(4 * (len(rec.pcs) + len(rec.nextPCs) + len(rec.memOff) + len(rec.memAddrs)))
+	b += int64(len(rec.insts)) * 48
+	for _, us := range rec.uops {
+		b += int64(len(us)) * 24
+	}
+	return b
 }
 
 // captureCache shares recordings across the concurrent (workload, mode)
 // jobs of a sweep. sync.Once per entry collapses the four modes' racing
-// requests into one interpretation; LRU eviction bounds residency
-// (an evicted entry still in use stays alive via its users' references).
+// requests into one interpretation; LRU eviction bounds residency by
+// entry count and by approximate bytes (an evicted entry still in use
+// stays alive via its users' references). The most recent entry is
+// never evicted, so one oversized capture degrades to cache-of-one
+// rather than thrashing.
 type captureCache struct {
-	mu      sync.Mutex
-	entries map[captureKey]*captureEntry
-	order   []captureKey // front = least recently used
+	mu         sync.Mutex
+	entries    map[captureKey]*captureEntry
+	order      []captureKey // front = least recently used
+	bytes      int64        // sum of completed entries' sizes
+	maxEntries int
+	maxBytes   int64
 }
 
-var captures = &captureCache{entries: map[captureKey]*captureEntry{}}
+var captures = &captureCache{
+	entries:    map[captureKey]*captureEntry{},
+	maxEntries: DefaultCaptureEntries,
+	maxBytes:   DefaultCaptureBytes,
+}
 
 func (c *captureCache) get(p workload.Profile, traceIdx, budget int) (*recordedStream, error) {
 	key := captureKey{profile: profileFingerprint(&p), trace: traceIdx, insts: budget}
@@ -181,7 +207,10 @@ func (c *captureCache) get(p workload.Profile, traceIdx, budget int) (*recordedS
 	c.touch(key)
 	c.mu.Unlock()
 
+	built := false
 	e.once.Do(func() {
+		built = true
+		metrics.captureBuilds.Add(1)
 		prog, err := workload.Generate(p, traceIdx)
 		if err != nil {
 			e.genErr = err
@@ -189,11 +218,26 @@ func (c *captureCache) get(p workload.Profile, traceIdx, budget int) (*recordedS
 		}
 		e.rec = captureRecorded(prog, budget+captureSlack)
 	})
+	if built {
+		if e.rec != nil {
+			c.mu.Lock()
+			// The entry may already have been evicted by a racing insert;
+			// only charge residency it still holds.
+			if cur, live := c.entries[key]; live && cur == e {
+				e.bytes = e.rec.sizeBytes()
+				c.bytes += e.bytes
+				c.evict()
+			}
+			c.mu.Unlock()
+		}
+	} else {
+		metrics.captureHits.Add(1)
+	}
 	return e.rec, e.genErr
 }
 
-// touch moves key to the most-recent end and evicts the oldest entries
-// beyond the residency bound. Caller holds c.mu.
+// touch moves key to the most-recent end and evicts past the budgets.
+// Caller holds c.mu.
 func (c *captureCache) touch(key captureKey) {
 	for i, k := range c.order {
 		if k == key {
@@ -202,10 +246,19 @@ func (c *captureCache) touch(key captureKey) {
 		}
 	}
 	c.order = append(c.order, key)
-	for len(c.order) > maxLiveCaptures {
+	c.evict()
+}
+
+// evict drops least-recently-used entries while either budget is
+// exceeded, always retaining the most recent entry. Caller holds c.mu.
+func (c *captureCache) evict() {
+	for len(c.order) > 1 && (len(c.order) > c.maxEntries || c.bytes > c.maxBytes) {
 		old := c.order[0]
 		c.order = c.order[1:]
-		delete(c.entries, old)
+		if e, ok := c.entries[old]; ok {
+			c.bytes -= e.bytes
+			delete(c.entries, old)
+		}
 	}
 }
 
@@ -214,6 +267,29 @@ func (c *captureCache) reset() {
 	defer c.mu.Unlock()
 	c.entries = map[captureKey]*captureEntry{}
 	c.order = nil
+	c.bytes = 0
+}
+
+// SetCaptureLimits sets the capture cache's entry and byte budgets
+// (values < 1 keep the current setting) and evicts down to them.
+func SetCaptureLimits(entries int, bytes int64) {
+	captures.mu.Lock()
+	defer captures.mu.Unlock()
+	if entries >= 1 {
+		captures.maxEntries = entries
+	}
+	if bytes >= 1 {
+		captures.maxBytes = bytes
+	}
+	captures.evict()
+}
+
+// CaptureOccupancy reports the capture cache's current and maximum
+// entry count and approximate byte residency.
+func CaptureOccupancy() (entries int, bytes int64, entryLimit int, byteLimit int64) {
+	captures.mu.Lock()
+	defer captures.mu.Unlock()
+	return len(captures.entries), captures.bytes, captures.maxEntries, captures.maxBytes
 }
 
 // CaptureSlotStream interprets one hot-spot trace of the profile and

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -23,11 +24,11 @@ func TestCachedRunsBitIdentical(t *testing.T) {
 	for _, mode := range []pipeline.Mode{
 		pipeline.ModeICache, pipeline.ModeTraceCache, pipeline.ModeRePLay, pipeline.ModeRePLayOpt,
 	} {
-		cold, err := RunWorkload(p, mode, Options{MaxInsts: 20_000, DisableCache: true})
+		cold, err := RunWorkload(context.Background(), p, mode, Options{MaxInsts: 20_000, DisableCache: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		cached, err := RunWorkload(p, mode, Options{MaxInsts: 20_000})
+		cached, err := RunWorkload(context.Background(), p, mode, Options{MaxInsts: 20_000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,7 +37,7 @@ func TestCachedRunsBitIdentical(t *testing.T) {
 				mode, cold.Stats, cached.Stats)
 		}
 		// A repeat must hit the memo and still agree.
-		memoed, err := RunWorkload(p, mode, Options{MaxInsts: 20_000})
+		memoed, err := RunWorkload(context.Background(), p, mode, Options{MaxInsts: 20_000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,11 +56,11 @@ func TestMemoKeyedByConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := RunWorkload(p, pipeline.ModeRePLayOpt, Options{MaxInsts: 20_000})
+	base, err := RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, Options{MaxInsts: 20_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	small, err := RunWorkload(p, pipeline.ModeRePLayOpt, Options{
+	small, err := RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, Options{
 		MaxInsts:  20_000,
 		ConfigMod: func(c *pipeline.Config) { c.FrameCfg.MaxUOps = 16 },
 	})
@@ -83,7 +84,7 @@ func TestCaptureSharedAcrossModes(t *testing.T) {
 	for _, mode := range []pipeline.Mode{
 		pipeline.ModeICache, pipeline.ModeTraceCache, pipeline.ModeRePLay, pipeline.ModeRePLayOpt,
 	} {
-		if _, err := RunWorkload(p, mode, Options{MaxInsts: 10_000}); err != nil {
+		if _, err := RunWorkload(context.Background(), p, mode, Options{MaxInsts: 10_000}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,14 +106,14 @@ func TestCaptureCacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 		p.Traces = 1
-		if _, err := RunWorkload(p, pipeline.ModeICache, Options{MaxInsts: 2_000}); err != nil {
+		if _, err := RunWorkload(context.Background(), p, pipeline.ModeICache, Options{MaxInsts: 2_000}); err != nil {
 			t.Fatal(err)
 		}
 		captures.mu.Lock()
 		n := len(captures.entries)
 		captures.mu.Unlock()
-		if n > maxLiveCaptures {
-			t.Fatalf("after %d workloads: %d live captures > bound %d", i+1, n, maxLiveCaptures)
+		if n > DefaultCaptureEntries {
+			t.Fatalf("after %d workloads: %d live captures > bound %d", i+1, n, DefaultCaptureEntries)
 		}
 	}
 }

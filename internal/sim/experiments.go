@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
@@ -16,7 +18,7 @@ type Fig6Row struct {
 
 // Fig6 runs the four processor configurations over every workload
 // (Figure 6: estimated x86 instructions retired per cycle).
-func Fig6(profiles []workload.Profile, o Options) ([]Fig6Row, error) {
+func Fig6(ctx context.Context, profiles []workload.Profile, o Options) ([]Fig6Row, error) {
 	modes := []pipeline.Mode{pipeline.ModeICache, pipeline.ModeTraceCache, pipeline.ModeRePLay, pipeline.ModeRePLayOpt}
 	results := make([][4]Result, len(profiles))
 	errs := make([][4]error, len(profiles))
@@ -26,7 +28,7 @@ func Fig6(profiles []workload.Profile, o Options) ([]Fig6Row, error) {
 			jobs = append(jobs, runJob{profile: p, mode: mode, opts: o, out: &results[i][m], err: &errs[i][m]})
 		}
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(ctx, jobs); err != nil {
 		return nil, err
 	}
 	rows := make([]Fig6Row, len(profiles))
@@ -52,7 +54,7 @@ type BreakdownRow struct {
 
 // CycleBreakdown runs RP and RPO over the given workloads and returns
 // their fetch-cycle bin breakdowns.
-func CycleBreakdown(profiles []workload.Profile, o Options) ([]BreakdownRow, error) {
+func CycleBreakdown(ctx context.Context, profiles []workload.Profile, o Options) ([]BreakdownRow, error) {
 	results := make([][2]Result, len(profiles))
 	errs := make([][2]error, len(profiles))
 	var jobs []runJob
@@ -61,7 +63,7 @@ func CycleBreakdown(profiles []workload.Profile, o Options) ([]BreakdownRow, err
 			runJob{profile: p, mode: pipeline.ModeRePLay, opts: o, out: &results[i][0], err: &errs[i][0]},
 			runJob{profile: p, mode: pipeline.ModeRePLayOpt, opts: o, out: &results[i][1], err: &errs[i][1]})
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(ctx, jobs); err != nil {
 		return nil, err
 	}
 	rows := make([]BreakdownRow, len(profiles))
@@ -85,7 +87,7 @@ type Table3Row struct {
 
 // Table3 reproduces Table 3 (micro-operations and loads removed by the
 // optimizer, with the resulting IPC increase).
-func Table3(profiles []workload.Profile, o Options) ([]Table3Row, error) {
+func Table3(ctx context.Context, profiles []workload.Profile, o Options) ([]Table3Row, error) {
 	results := make([][2]Result, len(profiles))
 	errs := make([][2]error, len(profiles))
 	var jobs []runJob
@@ -94,7 +96,7 @@ func Table3(profiles []workload.Profile, o Options) ([]Table3Row, error) {
 			runJob{profile: p, mode: pipeline.ModeRePLay, opts: o, out: &results[i][0], err: &errs[i][0]},
 			runJob{profile: p, mode: pipeline.ModeRePLayOpt, opts: o, out: &results[i][1], err: &errs[i][1]})
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(ctx, jobs); err != nil {
 		return nil, err
 	}
 	rows := make([]Table3Row, len(profiles))
@@ -127,7 +129,7 @@ type Fig9Row struct {
 
 // Fig9 compares intra-block-only optimization with frame-level
 // optimization (Figure 9).
-func Fig9(profiles []workload.Profile, o Options) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, profiles []workload.Profile, o Options) ([]Fig9Row, error) {
 	blockOpts := o
 	blockOpts.ConfigMod = chainMods(o.ConfigMod, func(c *pipeline.Config) { c.OptScope = opt.ScopeIntraBlock })
 
@@ -140,7 +142,7 @@ func Fig9(profiles []workload.Profile, o Options) ([]Fig9Row, error) {
 			runJob{profile: p, mode: pipeline.ModeRePLayOpt, opts: blockOpts, out: &results[i][1], err: &errs[i][1]},
 			runJob{profile: p, mode: pipeline.ModeRePLayOpt, opts: o, out: &results[i][2], err: &errs[i][2]})
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(ctx, jobs); err != nil {
 		return nil, err
 	}
 	rows := make([]Fig9Row, len(profiles))
@@ -182,7 +184,7 @@ type Fig10Row struct {
 }
 
 // Fig10 reproduces the individual-optimization ablation (Figure 10).
-func Fig10(o Options) ([]Fig10Row, error) {
+func Fig10(ctx context.Context, o Options) ([]Fig10Row, error) {
 	var profiles []workload.Profile
 	for _, name := range Fig10Workloads {
 		p, err := workload.ByName(name)
@@ -207,7 +209,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 				out: &results[i][2+v], err: &errs[i][2+v]})
 		}
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(ctx, jobs); err != nil {
 		return nil, err
 	}
 	rows := make([]Fig10Row, len(profiles))

@@ -12,6 +12,16 @@ import (
 // all repeat execute once per sweep instead of once per figure.
 // Simulations are deterministic, so serving the memo is observationally
 // identical to re-running.
+//
+// Long-lived hosts (replayd) keep the memo warm across requests, so it
+// is LRU-bounded: each hit refreshes the entry, and inserts beyond the
+// entry budget evict the least recently used result. A Stats value is a
+// few hundred bytes, so the default budget holds every run of the
+// paper's full sweep many times over while still capping an adversarial
+// stream of distinct custom-workload requests.
+
+// DefaultMemoEntries is the default run-memo entry budget.
+const DefaultMemoEntries = 4096
 
 type memoKey struct {
 	profile  string // canonical profile fingerprint
@@ -22,29 +32,81 @@ type memoKey struct {
 }
 
 var memo = struct {
-	sync.RWMutex
-	m map[memoKey]pipeline.Stats
-}{m: map[memoKey]pipeline.Stats{}}
+	sync.Mutex
+	m     map[memoKey]pipeline.Stats
+	order []memoKey // front = least recently used
+	limit int
+}{m: map[memoKey]pipeline.Stats{}, limit: DefaultMemoEntries}
 
 func memoGet(k memoKey) (pipeline.Stats, bool) {
-	memo.RLock()
-	defer memo.RUnlock()
+	memo.Lock()
+	defer memo.Unlock()
 	s, ok := memo.m[k]
+	if ok {
+		memoTouch(k)
+		metrics.memoHits.Add(1)
+	}
 	return s, ok
 }
 
 func memoPut(k memoKey, s pipeline.Stats) {
 	memo.Lock()
 	defer memo.Unlock()
+	if _, ok := memo.m[k]; !ok {
+		memo.order = append(memo.order, k)
+	} else {
+		memoTouch(k)
+	}
 	memo.m[k] = s
+	for len(memo.order) > memo.limit {
+		old := memo.order[0]
+		memo.order = memo.order[1:]
+		delete(memo.m, old)
+	}
+}
+
+// memoTouch moves k to the most-recent end. Caller holds memo.Mutex.
+func memoTouch(k memoKey) {
+	for i := range memo.order {
+		if memo.order[i] == k {
+			memo.order = append(memo.order[:i], memo.order[i+1:]...)
+			break
+		}
+	}
+	memo.order = append(memo.order, k)
+}
+
+// SetMemoLimit sets the run-memo entry budget (minimum 1) and evicts
+// down to it immediately.
+func SetMemoLimit(entries int) {
+	if entries < 1 {
+		entries = 1
+	}
+	memo.Lock()
+	defer memo.Unlock()
+	memo.limit = entries
+	for len(memo.order) > memo.limit {
+		old := memo.order[0]
+		memo.order = memo.order[1:]
+		delete(memo.m, old)
+	}
+}
+
+// MemoOccupancy reports the run memo's current and maximum entry count.
+func MemoOccupancy() (entries, limit int) {
+	memo.Lock()
+	defer memo.Unlock()
+	return len(memo.m), memo.limit
 }
 
 // ResetCaches clears the shared slot-stream captures and the run memo.
 // Benchmarks use it to measure cold sweeps; long-lived hosts can use it
-// to release capture memory.
+// to release capture memory. Monotonic service counters (run/hit
+// totals) are preserved; only occupancy drops to zero.
 func ResetCaches() {
 	captures.reset()
 	memo.Lock()
 	memo.m = map[memoKey]pipeline.Stats{}
+	memo.order = nil
 	memo.Unlock()
 }

@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -96,6 +98,11 @@ type Options struct {
 	// trace); the switch exists for benchmarking the caching layer and
 	// as an escape hatch.
 	DisableCache bool
+	// Notify, when set, is called once per completed run (memo hits
+	// included) with its result. Sweep drivers like replayd use it to
+	// stream per-(workload, mode) progress; it must be safe for
+	// concurrent calls, since runAll completes runs in parallel.
+	Notify func(Result)
 }
 
 // Result is the aggregated outcome of one workload under one mode.
@@ -110,7 +117,9 @@ type Result struct {
 func (r *Result) IPC() float64 { return r.Stats.IPC() }
 
 // RunWorkload simulates every hot-spot trace of the profile under the
-// mode and aggregates the measured statistics.
+// mode and aggregates the measured statistics. Cancelling ctx aborts
+// the simulation between fetch groups and returns the context's error;
+// a nil ctx means run to completion.
 //
 // Unless o.DisableCache is set, two layers of reuse apply: the retired
 // slot stream of each (profile, trace, budget) is captured once and
@@ -119,7 +128,7 @@ func (r *Result) IPC() float64 { return r.Stats.IPC() }
 // share runs (fig6/fig7/fig8/table3/fig9 all repeat the RP and RPO
 // baselines) execute them once. Both layers are observationally
 // transparent: the stream is deterministic per (profile, trace).
-func RunWorkload(p workload.Profile, mode pipeline.Mode, o Options) (Result, error) {
+func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o Options) (Result, error) {
 	res := Result{Workload: p.Name, Class: p.Class, Mode: mode}
 	budget := p.XInsts
 	if o.MaxInsts > 0 {
@@ -143,11 +152,19 @@ func RunWorkload(p workload.Profile, mode pipeline.Mode, o Options) (Result, err
 			budget: budget, warmFrac: warmFrac, config: cfg.Fingerprint()}
 		if s, ok := memoGet(key); ok {
 			res.Stats = s
+			if o.Notify != nil {
+				o.Notify(res)
+			}
 			return res, nil
 		}
 	}
 
 	for t := 0; t < p.Traces; t++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		var stream slotSource
 		if o.DisableCache {
 			prog, err := workload.Generate(p, t)
@@ -165,17 +182,25 @@ func RunWorkload(p workload.Profile, mode pipeline.Mode, o Options) (Result, err
 		eng := pipeline.New(cfg, mode, stream)
 
 		warm := uint64(float64(budget) * warmFrac)
-		eng.Run(warm)
+		if _, err := eng.RunContext(ctx, warm); err != nil {
+			return res, err
+		}
 		eng.ResetStats()
-		eng.Run(uint64(budget) - warm)
+		if _, err := eng.RunContext(ctx, uint64(budget)-warm); err != nil {
+			return res, err
+		}
 		if err := stream.Err(); err != nil {
 			return res, fmt.Errorf("sim %s trace %d: %w", p.Name, t, err)
 		}
 		s := eng.Stats()
 		res.Stats.Add(&s)
 	}
+	recordRun(&res.Stats)
 	if !o.DisableCache {
 		memoPut(key, res.Stats)
+	}
+	if o.Notify != nil {
+		o.Notify(res)
 	}
 	return res, nil
 }
@@ -189,26 +214,56 @@ type runJob struct {
 	err     *error
 }
 
-// RunAll executes jobs in parallel across CPUs.
-func runAll(jobs []runJob) error {
+// runAll executes jobs in parallel across CPUs. The semaphore is
+// acquired before each goroutine spawns, so a long job list never
+// materializes more goroutines than can run; the first failure (or a
+// cancelled ctx) stops dispatching and cancels the jobs already in
+// flight. The error returned is deterministic: the failure of the
+// earliest job by index, or ctx's error if dispatch was cut short with
+// no job of its own failing.
+func runAll(ctx context.Context, jobs []runJob) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	sem := make(chan struct{}, runtime.NumCPU())
 	var wg sync.WaitGroup
+dispatch:
 	for i := range jobs {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
 		go func(j *runJob) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := RunWorkload(j.profile, j.mode, j.opts)
+			r, err := RunWorkload(ctx, j.profile, j.mode, j.opts)
 			*j.out = r
 			*j.err = err
+			if err != nil {
+				cancel()
+			}
 		}(&jobs[i])
 	}
 	wg.Wait()
 	for i := range jobs {
-		if *jobs[i].err != nil {
-			return *jobs[i].err
+		if err := *jobs[i].err; err != nil && !errors.Is(err, context.Canceled) {
+			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Either the caller's ctx was cancelled or a job failed with
+		// context.Canceled itself; surface whichever error remains.
+		for i := range jobs {
+			if *jobs[i].err != nil {
+				return *jobs[i].err
+			}
+		}
+		return err
 	}
 	return nil
 }

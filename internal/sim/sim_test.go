@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/pipeline"
@@ -14,7 +15,7 @@ func runOne(t *testing.T, name string, mode pipeline.Mode, insts int) Result {
 		t.Fatal(err)
 	}
 	p.Traces = 1 // keep unit tests fast
-	r, err := RunWorkload(p, mode, Options{MaxInsts: insts})
+	r, err := RunWorkload(context.Background(), p, mode, Options{MaxInsts: insts})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prom renders metrics in the Prometheus text exposition format
+// (version 0.0.4): one HELP and TYPE line per metric followed by its
+// sample. It is the minimal subset replayd's /metrics endpoint needs —
+// unlabeled counters and gauges — kept here beside the table renderers
+// so every output format the harness speaks lives in one package.
+type Prom struct {
+	w   io.Writer
+	err error
+}
+
+// NewProm returns a renderer writing to w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// Counter emits a monotonically increasing metric.
+func (p *Prom) Counter(name, help string, value float64) {
+	p.metric(name, help, "counter", value)
+}
+
+// Gauge emits a point-in-time metric.
+func (p *Prom) Gauge(name, help string, value float64) {
+	p.metric(name, help, "gauge", value)
+}
+
+func (p *Prom) metric(name, help, kind string, value float64) {
+	if p.err != nil {
+		return
+	}
+	// Help text is a single line in the exposition format; defang any
+	// embedded newlines rather than corrupting the stream.
+	help = strings.ReplaceAll(help, "\n", " ")
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, kind, name, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// Err reports the first write error, if any.
+func (p *Prom) Err() error { return p.err }

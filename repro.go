@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/opt"
@@ -163,7 +164,7 @@ func Run(name string, mode Mode, options ...Option) (Result, error) {
 	for _, o := range options {
 		o(&rc)
 	}
-	r, err := sim.RunWorkload(p, mode, rc.opts)
+	r, err := sim.RunWorkload(context.Background(), p, mode, rc.opts)
 	if err != nil {
 		return Result{}, err
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -345,6 +346,40 @@ func BenchmarkOptimizerThroughput(b *testing.B) {
 		uops += st.UOpsIn
 	}
 	b.ReportMetric(float64(uops)/float64(b.N), "uops/frame")
+}
+
+// BenchmarkTelemetryOverhead pins the cost of the telemetry layer when
+// it is wired into every engine but disabled, against no telemetry at
+// all. Both sub-benchmarks disable the capture and memo caches so each
+// iteration executes the identical full simulation; the "disabled"
+// variant attaches a fully configured collector (histograms,
+// attribution, trace ring) with the atomic enabled gate off. The
+// acceptance bar is <2% ns/op between "disabled" and "off" — the
+// disabled path pays only nil checks and one atomic load per recording
+// site.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, tel *telemetry.Collector) {
+		for i := 0; i < b.N; i++ {
+			o := sim.Options{MaxInsts: 30_000, DisableCache: true, Telemetry: tel}
+			if _, err := sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("disabled", func(b *testing.B) {
+		tel := telemetry.New(telemetry.Config{
+			Hist:        telemetry.NewHistogramSet(),
+			Attribution: true,
+			TraceEvents: 1 << 12,
+		})
+		tel.SetEnabled(false)
+		run(b, tel)
+	})
 }
 
 // BenchmarkAblationReschedule compares buffer-order frames against the

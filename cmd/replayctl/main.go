@@ -6,9 +6,12 @@
 // Usage:
 //
 //	replayctl -experiment fig6 [-workloads a,b] [-insts N] [-mode RPO]
-//	          [-n 8] [-async] [-json]
+//	          [-n 8] [-async] [-json] [-trace out.json]
 //	replayctl -watch job-000001
-//	replayctl -metrics
+//	replayctl -metrics [-raw]
+//
+// -metrics renders the daemon's Prometheus exposition as tables and
+// per-bucket histogram bars; -raw prints the exposition verbatim.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strings"
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -40,7 +45,9 @@ func main() {
 	async := flag.Bool("async", false, "enqueue without waiting (POST /v1/jobs)")
 	jsonOut := flag.Bool("json", false, "print the raw result JSON only")
 	watch := flag.String("watch", "", "stream progress events of a job ID and exit")
-	metrics := flag.Bool("metrics", false, "print the daemon's /metrics and exit")
+	metrics := flag.Bool("metrics", false, "pretty-print the daemon's /metrics and exit")
+	raw := flag.Bool("raw", false, "with -metrics, print the Prometheus exposition verbatim instead of tables")
+	traceOut := flag.String("trace", "", "request a frame-lifecycle trace and save the Chrome trace_event JSON to this file")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
 	flag.Parse()
 
@@ -49,7 +56,17 @@ func main() {
 
 	switch {
 	case *metrics:
-		if err := get(client, base+"/metrics", os.Stdout); err != nil {
+		if *raw {
+			if err := get(client, base+"/metrics", os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := get(client, base+"/metrics", &buf); err != nil {
+			fatal(err)
+		}
+		if err := printMetrics(&buf, os.Stdout); err != nil {
 			fatal(err)
 		}
 	case *watch != "":
@@ -73,10 +90,56 @@ func main() {
 			}
 			req.Config = cfg
 		}
-		if err := run(client, base, req, *n, *async, *jsonOut); err != nil {
+		req.Trace = *traceOut != ""
+		if err := run(client, base, req, *n, *async, *jsonOut, *traceOut); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// printMetrics renders a Prometheus exposition readably: counters and
+// gauges as one table, each histogram as per-bucket bars.
+func printMetrics(r io.Reader, w io.Writer) error {
+	fams, err := stats.ParseProm(r)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Metric", "Type", "Value")
+	var hists []stats.PromFamily
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			hists = append(hists, f)
+			continue
+		}
+		t.Row(f.Name, f.Type, strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f.Value), "0"), "."))
+	}
+	t.Write(w)
+	for _, h := range hists {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / h.Count
+		}
+		fmt.Fprintf(w, "\n%s (histogram): %.0f samples, mean %.1f\n", h.Name, h.Count, mean)
+		// Exposition buckets are cumulative; diff them back into
+		// per-bucket counts for the bars.
+		prev, maxN := 0.0, 1.0
+		counts := make([]float64, len(h.Buckets))
+		for i, b := range h.Buckets {
+			counts[i] = b.Count - prev
+			prev = b.Count
+			if counts[i] > maxN {
+				maxN = counts[i]
+			}
+		}
+		for i, b := range h.Buckets {
+			label := "+Inf"
+			if !math.IsInf(b.Le, 1) {
+				label = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.1f", b.Le), "0"), ".")
+			}
+			stats.Bar(w, "le="+label, counts[i], maxN, 40, "%.0f")
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -131,7 +194,7 @@ func post(client *http.Client, url string, req api.RunRequest) (api.Job, error) 
 
 // run fires n identical requests concurrently and reports what the
 // daemon did with them (how many coalesced, wall time, result).
-func run(client *http.Client, base string, req api.RunRequest, n int, async, jsonOut bool) error {
+func run(client *http.Client, base string, req api.RunRequest, n int, async, jsonOut bool, traceOut string) error {
 	path := base + "/v1/run"
 	if async {
 		path = base + "/v1/jobs"
@@ -172,6 +235,21 @@ func run(client *http.Client, base string, req api.RunRequest, n int, async, jso
 			final = j
 			break
 		}
+	}
+
+	if traceOut != "" && !async {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		err = get(client, base+"/debug/trace?job="+final.ID, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("fetching trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
 	}
 
 	if jsonOut {

@@ -6,7 +6,7 @@
 //
 //	replayd [-addr :8080] [-workers 2] [-queue 64] [-max-insts N]
 //	        [-memo-entries N] [-capture-entries N] [-capture-bytes N]
-//	        [-drain-timeout 30s]
+//	        [-drain-timeout 30s] [-pprof addr] [-trace-events N]
 //
 // Endpoints:
 //
@@ -16,8 +16,15 @@
 //	GET  /v1/jobs/{id}        job status and result
 //	GET  /v1/jobs/{id}/events NDJSON progress stream
 //	GET  /v1/workloads       the Table 1 workload set
-//	GET  /metrics            Prometheus text metrics
+//	GET  /metrics            Prometheus text metrics (includes the
+//	                         frame-lifecycle histograms)
+//	GET  /debug/trace?job=ID Chrome trace_event JSON for a job
+//	                         submitted with "trace": true
 //	GET  /healthz            liveness (503 while draining)
+//
+// -pprof serves net/http/pprof on its own listener (for example
+// -pprof localhost:6060), kept off the public mux so profiling
+// endpoints are never exposed alongside the API.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,15 +51,37 @@ func main() {
 	captureEntries := flag.Int("capture-entries", sim.DefaultCaptureEntries, "capture-cache entry budget")
 	captureBytes := flag.Int64("capture-bytes", sim.DefaultCaptureBytes, "capture-cache byte budget")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
+	traceEvents := flag.Int("trace-events", 0, "per-job trace ring size for requests with \"trace\": true (0 = default 65536)")
 	flag.Parse()
 
 	sim.SetMemoLimit(*memoEntries)
 	sim.SetCaptureLimits(*captureEntries, *captureBytes)
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener: registering the handlers
+		// explicitly (instead of importing the package for its side
+		// effect on http.DefaultServeMux) keeps the profiling surface off
+		// the public API socket entirely.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", httppprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() {
+			log.Printf("replayd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("replayd: pprof server: %v", err)
+			}
+		}()
+	}
+
 	core := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxInsts:   *maxInsts,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxInsts:    *maxInsts,
+		TraceEvents: *traceEvents,
 	})
 	hs := &http.Server{Addr: *addr, Handler: core.Handler()}
 

@@ -6,7 +6,12 @@
 //	replaysim -experiment fig6 [-insts N] [-workloads a,b,c]
 //
 // Experiments: table1, table2, fig6, fig7, fig8, table3, fig9, fig10,
-// summary (a compact calibration view), all.
+// summary (a compact calibration view), attr (per-pass optimization
+// attribution), all.
+//
+// -attr appends the attribution table to any experiment; -trace out.json
+// records frame-lifecycle events as Chrome trace_event JSON (open in
+// chrome://tracing or Perfetto).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,11 +36,21 @@ func main() {
 		"share slot-stream captures across modes and memoize repeated runs (identical output, much faster -experiment all)")
 	jsonOut := flag.Bool("json", false,
 		"emit each experiment's rows as JSON in the replayd wire format (fig6..fig10, table3, summary; one object per line with -experiment all)")
+	attr := flag.Bool("attr", false,
+		"append the per-pass optimization attribution table (which optimizer pass killed/rewrote how many micro-ops, per workload)")
+	traceOut := flag.String("trace", "",
+		"record frame-lifecycle events and write Chrome trace_event JSON to this file (forces execution: the run memo is bypassed)")
 	flag.Parse()
 
 	opts := repro.ExpOptions{InstructionBudget: *insts, DisableCache: !*cache}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if *traceOut != "" {
+		opts.Telemetry = telemetry.New(telemetry.Config{
+			TraceEvents: 1 << 16,
+			Label:       "replaysim -experiment " + *experiment,
+		})
 	}
 
 	var err error
@@ -57,6 +73,8 @@ func main() {
 		err = fig10(opts, *jsonOut)
 	case "summary":
 		err = summary(opts, *jsonOut)
+	case "attr":
+		err = attrTable(opts, *jsonOut)
 	case "all":
 		if !*jsonOut {
 			table1()
@@ -77,10 +95,61 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	if err == nil && *attr && *experiment != "attr" {
+		err = attrTable(opts, *jsonOut)
+	}
+	if err == nil && *traceOut != "" {
+		err = writeTraceFile(opts.Telemetry, *traceOut)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "replaysim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile dumps the collector's event ring as Chrome trace_event
+// JSON.
+func writeTraceFile(tel *telemetry.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// attrTable runs the RPO configuration with per-pass attribution and
+// prints, per workload, the micro-ops each optimizer pass killed or
+// rewrote. The killed column sums to the optimizer's aggregate removal
+// count (the conservation invariant pinned by the attribution tests).
+func attrTable(opts repro.ExpOptions, jsonOut bool) error {
+	rows, err := repro.AttributionData(opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpAttr, Attr: rows})
+	}
+	fmt.Println("== Per-pass optimization attribution (RPO) ==")
+	for _, r := range rows {
+		removed := r.Opt.Removed()
+		fmt.Printf("%s (%s): %d of %d micro-ops removed\n",
+			r.Workload, r.Class, removed, r.Opt.UOpsIn)
+		t := stats.NewTable("Pass", "Calls", "Killed", "Rewritten", "% of removed")
+		for _, ps := range r.Passes {
+			pct := ""
+			if removed > 0 {
+				pct = fmt.Sprintf("%.1f%%", 100*float64(ps.Killed)/float64(removed))
+			}
+			t.Row(ps.Pass, ps.Calls, ps.Killed, ps.Rewritten, pct)
+		}
+		t.Write(os.Stdout)
+		fmt.Println()
+	}
+	return nil
 }
 
 func table1() {

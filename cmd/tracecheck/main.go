@@ -1,0 +1,37 @@
+// Command tracecheck validates a Chrome trace_event JSON file as
+// produced by replaysim -trace or replayd's /debug/trace endpoint:
+// well-formed JSON, every event named and phased, and timestamps
+// non-decreasing within each (pid, tid) lane — the shape
+// chrome://tracing and Perfetto expect. CI uses it to smoke-test the
+// trace exporter; exit status is nonzero on the first invalid file.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		if err := telemetry.ValidateTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -19,6 +20,8 @@ type (
 	Fig9Row = sim.Fig9Row
 	// Fig10Row is the leave-one-out optimization ablation (Figure 10).
 	Fig10Row = sim.Fig10Row
+	// AttrRow is one application's per-pass optimization attribution.
+	AttrRow = sim.AttrRow
 )
 
 // ExpOptions configures an experiment sweep.
@@ -36,6 +39,10 @@ type ExpOptions struct {
 	// simulations stop at the next fetch-group boundary and the sweep
 	// returns the context's error.
 	Context context.Context
+	// Telemetry, when non-nil, receives frame-lifecycle events from every
+	// engine the sweep creates (see sim.Options.Telemetry for the memo
+	// interaction: trace/attribution collectors force execution).
+	Telemetry *telemetry.Collector
 }
 
 func (o ExpOptions) ctx() context.Context {
@@ -61,7 +68,8 @@ func (o ExpOptions) profiles() ([]workload.Profile, error) {
 }
 
 func (o ExpOptions) simOptions() sim.Options {
-	return sim.Options{MaxInsts: o.InstructionBudget, DisableCache: o.DisableCache}
+	return sim.Options{MaxInsts: o.InstructionBudget, DisableCache: o.DisableCache,
+		Telemetry: o.Telemetry}
 }
 
 // Figure6 regenerates Figure 6: x86 IPC under the four configurations.
@@ -124,4 +132,16 @@ func Figure9(o ExpOptions) ([]Fig9Row, error) {
 // individually disabled, on the paper's five-application subset.
 func Figure10(o ExpOptions) ([]Fig10Row, error) {
 	return sim.Fig10(o.ctx(), o.simOptions())
+}
+
+// AttributionData runs the RPO configuration with per-pass attribution
+// and returns, per application, how many micro-ops each optimizer pass
+// killed or rewrote — the provenance behind Table 3's removal totals.
+// Attribution forces execution, so the sweep ignores the run memo.
+func AttributionData(o ExpOptions) ([]AttrRow, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Attribution(o.ctx(), ps, o.simOptions())
 }

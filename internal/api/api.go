@@ -28,10 +28,14 @@ const (
 	// ExpCell runs raw (workload, mode) simulation cells instead of a
 	// whole figure: one cell per requested workload under Mode.
 	ExpCell = "cell"
+	// ExpAttr runs the RPO configuration with per-pass optimization
+	// attribution: which optimizer pass killed or rewrote how many
+	// micro-ops, per workload.
+	ExpAttr = "attr"
 )
 
 // Experiments lists every accepted experiment name.
-var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell}
+var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr}
 
 // ConfigOverrides carries the per-request Table 2 edits the service
 // accepts. Zero fields keep the mode's default; the names mirror
@@ -68,6 +72,12 @@ type RunRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// Config applies Table 2 overrides before the run.
 	Config *ConfigOverrides `json:"config,omitempty"`
+	// Trace records frame-lifecycle events for the job and makes them
+	// retrievable as Chrome trace_event JSON from /debug/trace?job=ID.
+	// Tracing forces execution (no run-memo hits) and deliberately splits
+	// the coalescing key, so a traced job never attaches to an untraced
+	// one that would produce no events.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Canonical returns the request in canonical form: names are trimmed
@@ -225,6 +235,7 @@ type RunResponse struct {
 	Fig9       []sim.Fig9Row      `json:"fig9,omitempty"`
 	Fig10      []sim.Fig10Row     `json:"fig10,omitempty"`
 	Cells      []Cell             `json:"cells,omitempty"`
+	Attr       []sim.AttrRow      `json:"attr,omitempty"`
 }
 
 // Job states.

@@ -17,6 +17,13 @@ type UOpCache[T any] struct {
 	Evictions  uint64
 	Hits       uint64
 	Lookups    uint64
+
+	// OnInsert/OnEvict/OnHit, when set, observe cache activity (the
+	// pipeline's telemetry wiring). A same-PC replacement reports the
+	// displaced region through OnEvict before the insert.
+	OnInsert func(pc uint32, size int)
+	OnEvict  func(pc uint32, size int)
+	OnHit    func(pc uint32)
 }
 
 type entry[T any] struct {
@@ -45,6 +52,9 @@ func (c *UOpCache[T]) Lookup(pc uint32) (T, bool) {
 	}
 	c.Hits++
 	c.lru.MoveToFront(el)
+	if c.OnHit != nil {
+		c.OnHit(pc)
+	}
 	return el.Value.(*entry[T]).value, true
 }
 
@@ -62,9 +72,13 @@ func (c *UOpCache[T]) Insert(pc uint32, size int, value T) bool {
 		return false
 	}
 	if el, ok := c.entries[pc]; ok {
-		c.used -= el.Value.(*entry[T]).size
+		old := el.Value.(*entry[T])
+		c.used -= old.size
 		c.lru.Remove(el)
 		delete(c.entries, pc)
+		if c.OnEvict != nil {
+			c.OnEvict(pc, old.size)
+		}
 	}
 	for c.used+size > c.capacity {
 		back := c.lru.Back()
@@ -76,19 +90,29 @@ func (c *UOpCache[T]) Insert(pc uint32, size int, value T) bool {
 		delete(c.entries, e.pc)
 		c.lru.Remove(back)
 		c.Evictions++
+		if c.OnEvict != nil {
+			c.OnEvict(e.pc, e.size)
+		}
 	}
 	c.entries[pc] = c.lru.PushFront(&entry[T]{pc: pc, size: size, value: value})
 	c.used += size
 	c.Insertions++
+	if c.OnInsert != nil {
+		c.OnInsert(pc, size)
+	}
 	return true
 }
 
 // Invalidate removes the region at pc if present.
 func (c *UOpCache[T]) Invalidate(pc uint32) {
 	if el, ok := c.entries[pc]; ok {
-		c.used -= el.Value.(*entry[T]).size
+		old := el.Value.(*entry[T])
+		c.used -= old.size
 		c.lru.Remove(el)
 		delete(c.entries, pc)
+		if c.OnEvict != nil {
+			c.OnEvict(pc, old.size)
+		}
 	}
 }
 

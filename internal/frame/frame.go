@@ -8,6 +8,7 @@ package frame
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/uop"
 	"repro/internal/x86"
 )
@@ -110,6 +111,18 @@ type Constructor struct {
 	// Deposit receives each completed frame.
 	Deposit func(*Frame)
 
+	// Tel, when set, receives a FrameConstructed event (and the frame
+	// length histogram sample) for every deposited frame, stamped with
+	// TelRun and the cycle from Now. Now may be nil, in which case the
+	// retire ordinal serves as the clock (standalone construction has no
+	// cycle counter).
+	Tel    *telemetry.Collector
+	TelRun int
+	Now    func() uint64
+
+	// retired counts Retire calls — the fallback clock.
+	retired uint64
+
 	// Constructed counts frames deposited.
 	Constructed uint64
 
@@ -162,6 +175,7 @@ func classify(in x86.Inst) controlKind {
 // micro-ops, dynamic outcome (taken, nextPC) and the dynamic addresses of
 // its memory micro-ops, in flow order.
 func (c *Constructor) Retire(pc uint32, in x86.Inst, uops []uop.UOp, nextPC uint32, memAddrs []uint32) {
+	c.retired++
 	kind := classify(in)
 	taken := nextPC != pc+uint32(in.Len)
 
@@ -349,6 +363,25 @@ func (c *Constructor) startAt(pc uint32) {
 	c.nextID++
 }
 
+// clock returns the construction-time timestamp for telemetry: the
+// engine's cycle when wired in, the retire ordinal otherwise.
+func (c *Constructor) clock() uint64 {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return c.retired
+}
+
+// deposit hands a finished frame downstream and reports it to
+// telemetry. Both finish paths funnel through here.
+func (c *Constructor) deposit(f *Frame) {
+	c.Constructed++
+	if c.Deposit != nil {
+		c.Deposit(f)
+	}
+	c.Tel.FrameConstructed(c.TelRun, c.clock(), f.ID, f.StartPC, len(f.UOps))
+}
+
 // finishAligned deposits the pending frame, preferring to cut it at the
 // last point where control returned to the frame's own start. A frame
 // whose exit equals its entry chains to itself in the frame cache, so hot
@@ -385,10 +418,7 @@ func (c *Constructor) finishAligned() {
 		}
 	}
 	f.ExitPC = f.NextPCs[f.NumX86-1]
-	c.Constructed++
-	if c.Deposit != nil {
-		c.Deposit(f)
-	}
+	c.deposit(f)
 }
 
 // finish deposits the pending frame if it meets the size minimum.
@@ -403,10 +433,7 @@ func (c *Constructor) finish() {
 		return
 	}
 	f.ExitPC = c.lastNext
-	c.Constructed++
-	if c.Deposit != nil {
-		c.Deposit(f)
-	}
+	c.deposit(f)
 }
 
 // Truncate returns the largest prefix of the frame ending at an

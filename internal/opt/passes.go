@@ -46,44 +46,108 @@ type Stats struct {
 // Removed returns the net micro-op reduction.
 func (s Stats) Removed() int { return s.UOpsIn - s.UOpsOut }
 
+// PassRecorder observes individual optimizer pass invocations for
+// attribution. Implementations receive the frame id, the pass name
+// (see telemetry.PassOrder), uops the pass invalidated, and uops it
+// rewrote in place. Only invocations that changed something are
+// reported. telemetry.Collector satisfies this structurally; opt
+// declares its own interface to stay a leaf package.
+type PassRecorder interface {
+	RecordPass(frameID uint64, pass string, killed, rewritten int)
+}
+
 // Optimize runs the configured passes over the frame in place and
 // returns the run's statistics. Pass order follows the paper's gateway
 // structure: NOP removal first, then a propagate/reassociate/common/
 // forward fixpoint, assertion fusion, a final constant pass to discharge
 // asserted constants, and dead-code elimination.
 func Optimize(of *OptFrame, opts Options) Stats {
+	return optimize(of, opts, nil)
+}
+
+// OptimizeTraced is Optimize with per-pass attribution: every pass
+// invocation that kills or rewrites uops is reported to rec. The
+// invariant the attribution conservation test pins down: summed killed
+// across all reported passes equals Stats.Removed(), because a uop only
+// leaves the frame by a pass flipping Valid inside a traced call.
+func OptimizeTraced(of *OptFrame, opts Options, rec PassRecorder) Stats {
+	return optimize(of, opts, rec)
+}
+
+func optimize(of *OptFrame, opts Options, rec PassRecorder) Stats {
 	var s Stats
 	s.UOpsIn = of.NumValid()
 	s.LoadsIn = of.NumValidLoads()
 
+	var frameID uint64
+	if rec != nil && of.Source != nil {
+		frameID = of.Source.ID
+	}
+	// traced measures what one pass invocation did: killed is the drop
+	// in valid uops (exact — passes only ever invalidate), rewritten the
+	// delta of the pass's own rewrite counter.
+	traced := func(pass string, rewrites *int, fn func()) {
+		if rec == nil {
+			fn()
+			return
+		}
+		v0 := of.NumValid()
+		r0 := 0
+		if rewrites != nil {
+			r0 = *rewrites
+		}
+		fn()
+		killed := v0 - of.NumValid()
+		rew := 0
+		if rewrites != nil {
+			rew = *rewrites - r0
+		}
+		if killed != 0 || rew != 0 {
+			rec.RecordPass(frameID, pass, killed, rew)
+		}
+	}
+
 	if opts.NOP {
-		of.nopPass(&s)
+		traced("nop", nil, func() { of.nopPass(&s) })
 	}
 	for iter := 0; iter < 4; iter++ {
 		changed := false
 		if opts.CP {
-			changed = of.cpPass(&s) || changed
+			traced("cp", &s.FoldedCP, func() { changed = of.cpPass(&s) || changed })
 		}
 		if opts.RA {
-			changed = of.raPass(&s) || changed
+			traced("ra", &s.Reassoc, func() { changed = of.raPass(&s) || changed })
 		}
 		if opts.CSE {
-			changed = of.csePass(&s) || changed
+			traced("cse", &s.CSEVals, func() { changed = of.csePass(&s) || changed })
 		}
 		if opts.CSE || opts.SF {
-			changed = of.memPass(&s, opts) || changed
+			// memPass only rewrites (loads become MOVs; DCE reaps them
+			// later), but it moves two counters, one per technique.
+			if rec == nil {
+				changed = of.memPass(&s, opts) || changed
+			} else {
+				c0, f0 := s.CSELoads, s.SFLoads
+				changed = of.memPass(&s, opts) || changed
+				if d := s.CSELoads - c0; d > 0 {
+					rec.RecordPass(frameID, "cse-load", 0, d)
+				}
+				if d := s.SFLoads - f0; d > 0 {
+					rec.RecordPass(frameID, "sf", 0, d)
+				}
+			}
 		}
 		if !changed {
 			break
 		}
 	}
 	if opts.Assert {
-		of.assertPass(&s)
+		traced("assert", &s.FusedAsserts, func() { of.assertPass(&s) })
 	}
 	if opts.CP {
-		of.cpPass(&s)
+		traced("cp", &s.FoldedCP, func() { of.cpPass(&s) })
 	}
-	of.dcePass(&s)
+	traced("dce", nil, func() { of.dcePass(&s) })
 
 	s.UOpsOut = of.NumValid()
 	s.LoadsOut = of.NumValidLoads()

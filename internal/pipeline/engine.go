@@ -7,6 +7,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/opt"
 	"repro/internal/predict"
+	"repro/internal/telemetry"
 	"repro/internal/uop"
 	"repro/internal/x86"
 )
@@ -94,6 +95,12 @@ type Engine struct {
 	traces  *cache.UOpCache[*traceEntry]
 	fill    *traceFill
 	lastSrc fetchSrc
+
+	// Telemetry (see SetTelemetry). tel is nil unless attached, so the
+	// disabled cost on the dispatch hot path is one nil check.
+	tel         *telemetry.Collector
+	telRun      int
+	telInsertAt map[uint32]uint64 // frame-cache insert cycle per PC, for residency
 
 	// MispredictHook, when set, is called on every misprediction-style
 	// fetch stall (diagnostics).
@@ -365,6 +372,9 @@ func (e *Engine) dispatch(op uop.Op, ready uint64, fetchAt uint64, memAddr uint3
 	e.ringPos = (e.ringPos + 1) % e.cfg.Width
 	e.lastRetire = retireAt
 	e.inflight = append(e.inflight, retireAt)
+	if e.tel != nil {
+		e.tel.FetchRetire(retireAt - fetchAt)
+	}
 	return doneAt
 }
 

@@ -82,15 +82,21 @@ func (e *Engine) startOptimizations() {
 		f := e.optQueue[0]
 		e.optQueue = e.optQueue[1:]
 		of := opt.Remap(f, e.cfg.OptScope)
-		st := opt.Optimize(of, e.cfg.OptOptions)
+		var rec opt.PassRecorder
+		if e.tel.HasAttribution() {
+			rec = e.tel
+		}
+		st := opt.OptimizeTraced(of, e.cfg.OptOptions, rec)
 		if e.cfg.OptReschedule {
 			opt.Schedule(of)
 		}
 		e.accumulateOpt(st)
 		e.stats.FramesOptimized++
-		done := e.cycle + uint64(e.cfg.OptCyclesPerUOp*len(f.UOps))
+		dwell := uint64(e.cfg.OptCyclesPerUOp * len(f.UOps))
+		done := e.cycle + dwell
 		e.optSlots[slot] = done
 		e.optPending = append(e.optPending, pendingFrame{readyAt: done, of: of})
+		e.tel.FrameOptimized(e.telRun, e.cycle, f.ID, f.StartPC, st.UOpsIn, st.UOpsOut, dwell)
 	}
 }
 
@@ -163,6 +169,7 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 
 	e.switchTo(srcFC)
 	e.stats.FrameFetches++
+	fetchStart := e.cycle
 	savedArch := e.archReady
 
 	// Dispatch the frame body, Width micro-ops per fetch cycle.
@@ -261,6 +268,7 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 			}
 			e.AbortHook(src.StartPC, pc, unsafeConflict && !diverged)
 		}
+		e.tel.AssertFired(e.telRun, e.cycle, src.ID, src.StartPC, unsafeConflict && !diverged)
 		e.stallUntil(maxDone, BinAssert)
 		// A transient assert (a rare contrary outcome) keeps the frame — it
 		// will run cleanly again next fetch. Only a persistent run of
@@ -289,11 +297,13 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 		e.archReady = savedArch
 		e.pushback(consumed)
 		e.recoverSlots = len(consumed)
+		e.tel.FrameFetch(e.telRun, fetchStart, e.cycle, src.ID, src.StartPC, fetched, false)
 		return
 	}
 
 	// Commit.
 	e.stats.FrameCommits++
+	e.tel.FrameFetch(e.telRun, fetchStart, e.cycle, src.ID, src.StartPC, fetched, true)
 	delete(e.abortRuns, src.StartPC)
 	if cap, ok := e.growCap[src.StartPC]; ok {
 		e.growCap[src.StartPC] = cap + 1

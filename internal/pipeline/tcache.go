@@ -72,6 +72,12 @@ func (e *Engine) fillTrace(s *Slot) {
 // diverges from the filled path or at a misprediction.
 func (e *Engine) fetchTraceEntry(tr *traceEntry) {
 	e.switchTo(srcFC)
+	if e.tel.Enabled() {
+		start := e.cycle
+		defer func() {
+			e.tel.TraceFetch(e.telRun, start, e.cycle, tr.StartPC, tr.NumUOps)
+		}()
+	}
 	e.windowStall()
 	fetchAt := e.cycle
 	e.tick(BinFrame)

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/telemetry"
+)
+
+// SetTelemetry attaches a collector to the engine under the given run
+// id (from Collector.NewRun). The collector deliberately lives on the
+// Engine, not on Config: Config must remain a plain value struct — its
+// %#v fingerprint is the memo key (see fingerprint.go) and a pointer
+// field would poison it.
+//
+// Attaching wires the frame constructor, the frame/trace caches, and
+// the dispatch path. Detach by passing nil.
+func (e *Engine) SetTelemetry(tel *telemetry.Collector, run int) {
+	e.tel = tel
+	e.telRun = run
+	if e.cons != nil {
+		e.cons.Tel = tel
+		e.cons.TelRun = run
+		if tel != nil {
+			e.cons.Now = func() uint64 { return e.cycle }
+		} else {
+			e.cons.Now = nil
+		}
+	}
+	if tel != nil && e.telInsertAt == nil {
+		e.telInsertAt = make(map[uint32]uint64)
+	}
+	wireCacheTelemetry(e, e.frames)
+	wireCacheTelemetry(e, e.traces)
+}
+
+// wireCacheTelemetry installs (or removes) the UOpCache observation
+// hooks. A package-level generic function because methods cannot have
+// type parameters.
+func wireCacheTelemetry[T any](e *Engine, c *cache.UOpCache[T]) {
+	if c == nil {
+		return
+	}
+	if e.tel == nil {
+		c.OnInsert, c.OnEvict, c.OnHit = nil, nil, nil
+		return
+	}
+	c.OnInsert = func(pc uint32, size int) {
+		if !e.tel.Enabled() {
+			return
+		}
+		e.telInsertAt[pc] = e.cycle
+		e.tel.CacheInsert(e.telRun, e.cycle, pc, size)
+	}
+	c.OnEvict = func(pc uint32, size int) {
+		if !e.tel.Enabled() {
+			return
+		}
+		var residency uint64
+		if t0, ok := e.telInsertAt[pc]; ok {
+			residency = e.cycle - t0
+			delete(e.telInsertAt, pc)
+		}
+		e.tel.CacheEvict(e.telRun, e.cycle, pc, size, residency)
+	}
+	c.OnHit = func(pc uint32) {
+		e.tel.CacheHit(e.telRun, e.cycle, pc)
+	}
+}
+
+// CloseTelemetry flushes end-of-run state: frames still resident in
+// the cache contribute their residency-so-far to the histogram (no
+// eviction event is fabricated — the frames are still cached). Call
+// once per run, after the last Run/RunContext.
+func (e *Engine) CloseTelemetry() {
+	if e.tel == nil {
+		return
+	}
+	for _, t0 := range e.telInsertAt {
+		e.tel.CacheResident(e.cycle - t0)
+	}
+	e.telInsertAt = make(map[uint32]uint64)
+}

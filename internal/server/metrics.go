@@ -68,4 +68,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("replayd_pipeline_frame_aborts_total", "Aborted frames across executed runs.", float64(agg.FrameAborts))
 	p.Counter("replayd_pipeline_frames_constructed_total", "Frames constructed across executed runs.", float64(agg.FramesConstructed))
 	p.Counter("replayd_pipeline_frames_optimized_total", "Frames optimized across executed runs.", float64(agg.FramesOptimized))
+
+	// Frame-lifecycle histograms from the telemetry layer: every job
+	// (traced or not) observes into the same histogram set. Memoized
+	// runs execute nothing and so contribute no samples.
+	for _, h := range s.hist.All() {
+		p.Histogram(h.Snapshot())
+	}
 }

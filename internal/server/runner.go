@@ -10,6 +10,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -25,6 +26,9 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 		MaxInsts:   req.Insts,
 		WarmupFrac: req.WarmupFrac,
 		ConfigMod:  configMod(req.Config),
+		// The server threads the job's collector (global histogram-only,
+		// or the per-job trace collector) through the context.
+		Telemetry: telemetry.FromContext(ctx),
 	}
 	total := runCount(req.Experiment, len(profiles))
 	var done atomic.Int64
@@ -59,6 +63,8 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 			return nil, merr
 		}
 		res.Cells, err = runCells(ctx, profiles, mode, opts)
+	case api.ExpAttr:
+		res.Attr, err = sim.Attribution(ctx, profiles, opts)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
 	}
@@ -102,7 +108,7 @@ func runCount(experiment string, profiles int) int {
 		return 8 * len(sim.Fig10Workloads)
 	case api.ExpSummary:
 		return 6 * profiles
-	case api.ExpCell:
+	case api.ExpCell, api.ExpAttr:
 		return profiles
 	}
 	return 0

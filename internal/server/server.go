@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/telemetry"
 )
 
 // Runner executes one canonicalized request, reporting progress through
@@ -40,6 +41,9 @@ type Config struct {
 	// KeepFinished bounds how many finished jobs stay queryable.
 	// Default 256.
 	KeepFinished int
+	// TraceEvents bounds the per-job trace ring for requests with
+	// Trace set; the ring keeps the newest events. Default 65536.
+	TraceEvents int
 	// Runner overrides the execution backend (tests). Default SimRunner.
 	Runner Runner
 }
@@ -53,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeepFinished <= 0 {
 		c.KeepFinished = 256
+	}
+	if c.TraceEvents <= 0 {
+		c.TraceEvents = 1 << 16
 	}
 	if c.Runner == nil {
 		c.Runner = SimRunner
@@ -78,7 +85,8 @@ type job struct {
 
 	mu        sync.Mutex
 	events    []api.Event
-	notify    chan struct{} // closed and replaced on every append
+	notify    chan struct{}        // closed and replaced on every append
+	tel       *telemetry.Collector // per-job trace collector, when req.Trace
 	state     string
 	err       error
 	result    *api.RunResponse
@@ -179,6 +187,14 @@ type Server struct {
 
 	mux *http.ServeMux
 	met serviceMetrics
+
+	// hist backs the /metrics histograms; tel is the process-wide
+	// histogram-only collector every untraced job runs under (histogram
+	// collection keeps the run memo, so this costs nothing on memo hits).
+	// Traced jobs get a private collector that shares hist, so their
+	// samples land in the same /metrics families.
+	hist *telemetry.HistogramSet
+	tel  *telemetry.Collector
 }
 
 // New starts a server core: the worker pool is live on return.
@@ -193,7 +209,9 @@ func New(cfg Config) *Server {
 		inflight:   map[string]*job{},
 		queue:      make(chan *job, cfg.QueueDepth),
 		mux:        http.NewServeMux(),
+		hist:       telemetry.NewHistogramSet(),
 	}
+	s.tel = telemetry.New(telemetry.Config{Hist: s.hist})
 	s.routes()
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -213,6 +231,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
@@ -327,7 +346,23 @@ func (s *Server) execute(j *job) {
 	}
 	s.met.busyWorkers.Add(1)
 	j.setState(api.StateRunning)
-	res, err := s.cfg.Runner(j.ctx, j.req, j.appendEvent)
+	// Every job runs under a collector so its frame-lifecycle histograms
+	// feed /metrics. Traced jobs get a private collector (ring buffer,
+	// labeled with the coalescing key, same histogram set); it stays on
+	// the job so /debug/trace can serve it during and after the run.
+	tel := s.tel
+	if j.req.Trace {
+		tel = telemetry.New(telemetry.Config{
+			Hist:        s.hist,
+			TraceEvents: s.cfg.TraceEvents,
+			Label:       j.key,
+		})
+		j.mu.Lock()
+		j.tel = tel
+		j.mu.Unlock()
+	}
+	ctx := telemetry.NewContext(j.ctx, tel)
+	res, err := s.cfg.Runner(ctx, j.req, j.appendEvent)
 	s.met.busyWorkers.Add(-1)
 	s.settle(j, res, err)
 }
@@ -546,6 +581,39 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace serves a traced job's event ring as Chrome trace_event
+// JSON (load into chrome://tracing or Perfetto). The snapshot is safe
+// to take mid-run; a job submitted without "trace": true has no ring
+// and 404s.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("job")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing job query parameter"})
+		return
+	}
+	j, ok := s.lookup(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	j.mu.Lock()
+	tel := j.tel
+	j.mu.Unlock()
+	if tel == nil {
+		if j.req.Trace {
+			// Requested but not started: the collector appears with the run.
+			writeJSON(w, http.StatusConflict,
+				map[string]string{"error": "job has not started; trace not available yet"})
+			return
+		}
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "job has no trace; submit it with \"trace\": true"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tel.WriteTrace(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/translate"
 	"repro/internal/uop"
 	"repro/internal/workload"
@@ -103,6 +104,12 @@ type Options struct {
 	// stream per-(workload, mode) progress; it must be safe for
 	// concurrent calls, since runAll completes runs in parallel.
 	Notify func(Result)
+	// Telemetry, when set, receives frame-lifecycle events from every
+	// engine the run creates. A collector with attribution or tracing
+	// enabled bypasses the run memo (a memoized run executes nothing, so
+	// it would silently produce no events); a histogram-only collector
+	// keeps memoization, and memo hits simply contribute no samples.
+	Telemetry *telemetry.Collector
 }
 
 // Result is the aggregated outcome of one workload under one mode.
@@ -146,8 +153,9 @@ func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		o.ConfigMod(&cfg)
 	}
 
+	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution()
 	var key memoKey
-	if !o.DisableCache {
+	if useMemo {
 		key = memoKey{profile: profileFingerprint(&p), mode: mode,
 			budget: budget, warmFrac: warmFrac, config: cfg.Fingerprint()}
 		if s, ok := memoGet(key); ok {
@@ -185,6 +193,15 @@ func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		if _, err := eng.RunContext(ctx, warm); err != nil {
 			return res, err
 		}
+		// Telemetry attaches after warmup, so events, histograms, and
+		// per-pass attribution cover exactly the measured window — the
+		// same boundary ResetStats draws for the counters. Attaching per
+		// engine (rather than toggling the collector) keeps a collector
+		// shared across parallel runs race-free.
+		if o.Telemetry != nil {
+			run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", p.Name, mode, t))
+			eng.SetTelemetry(o.Telemetry, run)
+		}
 		eng.ResetStats()
 		if _, err := eng.RunContext(ctx, uint64(budget)-warm); err != nil {
 			return res, err
@@ -192,11 +209,12 @@ func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		if err := stream.Err(); err != nil {
 			return res, fmt.Errorf("sim %s trace %d: %w", p.Name, t, err)
 		}
+		eng.CloseTelemetry()
 		s := eng.Stats()
 		res.Stats.Add(&s)
 	}
 	recordRun(&res.Stats)
-	if !o.DisableCache {
+	if useMemo {
 		memoPut(key, res.Stats)
 	}
 	if o.Notify != nil {

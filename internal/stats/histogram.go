@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe
+// calls. Bucket upper bounds are set at construction and never change,
+// so the hot path is a binary search plus one atomic increment; there
+// is no locking anywhere. Values are unsigned integers (cycles, uop
+// counts) because that is what the simulator produces; the Prometheus
+// exposition converts to float64 at render time.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // inclusive upper bounds, strictly increasing
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	total  atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given inclusive upper
+// bounds, which must be strictly increasing. An implicit +Inf bucket
+// catches everything above the last bound.
+func NewHistogram(name, help string, bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram %q bounds not increasing: %v", name, bounds))
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Name returns the metric name given at construction.
+func (h *Histogram) Name() string { return h.name }
+
+// Help returns the help text given at construction.
+func (h *Histogram) Help() string { return h.help }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	// Bucket count is small (≲16); a linear scan beats binary search on
+	// branch prediction and is simpler.
+	i := 0
+	f := float64(v)
+	for i < len(h.bounds) && f > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts are per-bucket (not cumulative); Counts[len(Bounds)] is the
+// +Inf bucket. The copy is not atomic across buckets — concurrent
+// Observe calls may land between bucket reads — which is fine for
+// monitoring output.
+type HistogramSnapshot struct {
+	Name   string
+	Help   string
+	Bounds []float64
+	Counts []uint64
+	Sum    uint64
+	Count  uint64
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Help:   h.help,
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average of all observed samples, or 0 if empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

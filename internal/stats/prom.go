@@ -30,15 +30,56 @@ func (p *Prom) Gauge(name, help string, value float64) {
 	p.metric(name, help, "gauge", value)
 }
 
+// Histogram emits a snapshot in the Prometheus histogram exposition:
+// cumulative _bucket{le="..."} samples ending at +Inf, then _sum and
+// _count.
+func (p *Prom) Histogram(s HistogramSnapshot) {
+	if p.err != nil {
+		return
+	}
+	p.header(s.Name, s.Help, "histogram")
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		p.printf("%s_bucket{le=\"%s\"} %d\n", s.Name, formatBound(b), cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", s.Name, s.Count)
+	p.printf("%s_sum %d\n", s.Name, s.Sum)
+	p.printf("%s_count %d\n", s.Name, s.Count)
+}
+
 func (p *Prom) metric(name, help, kind string, value float64) {
 	if p.err != nil {
 		return
 	}
-	// Help text is a single line in the exposition format; defang any
-	// embedded newlines rather than corrupting the stream.
-	help = strings.ReplaceAll(help, "\n", " ")
-	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
-		name, help, name, kind, name, strconv.FormatFloat(value, 'g', -1, 64))
+	p.header(name, help, kind)
+	p.printf("%s %s\n", name, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+func (p *Prom) header(name, help, kind string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, kind)
+}
+
+func (p *Prom) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp applies the exposition-format escaping for HELP lines:
+// backslash first (so escapes we introduce aren't re-escaped), then
+// newline. An unescaped newline would terminate the comment mid-text
+// and turn the remainder into a garbage sample line.
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// formatBound renders a bucket bound the way Prometheus expects: the
+// shortest float representation ("8", "0.5", "1e+06").
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 // Err reports the first write error, if any.

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromHelpEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewProm(&sb)
+	p.Counter("x_total", "line one\nline two with \\ backslash", 3)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `# HELP x_total line one\nline two with \\ backslash`
+	if !strings.Contains(out, want) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	// The exposition must remain line-structured: exactly HELP, TYPE,
+	// and one sample line.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[2] != "x_total 3" {
+		t.Errorf("sample line: %q", lines[2])
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram("lat", "latency", 1, 2, 4, 8)
+	for _, v := range []uint64{0, 1, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 120 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	// Buckets: ≤1: {0,1}=2, ≤2: {2}=1, ≤4: {3}=1, ≤8: {5}=1, +Inf: {9,100}=2.
+	want := []uint64{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if got := s.Mean(); math.Abs(got-120.0/7) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c", "", 10, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 1000; i++ {
+				h.Observe(i % 200)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d", s.Count)
+	}
+}
+
+func TestPromHistogramExposition(t *testing.T) {
+	h := NewHistogram("frame_uops", "frame length", 8, 32, 128)
+	for _, v := range []uint64{4, 16, 64, 500} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	p := NewProm(&sb)
+	p.Histogram(h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE frame_uops histogram",
+		`frame_uops_bucket{le="8"} 1`,
+		`frame_uops_bucket{le="32"} 2`,
+		`frame_uops_bucket{le="128"} 3`,
+		`frame_uops_bucket{le="+Inf"} 4`,
+		"frame_uops_sum 584",
+		"frame_uops_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestParsePromRoundTrip(t *testing.T) {
+	h := NewHistogram("dwell", "optimizer dwell\nsecond line", 10, 1000)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	var sb strings.Builder
+	p := NewProm(&sb)
+	p.Counter("jobs_total", "jobs", 42)
+	p.Gauge("queue_depth", "depth", 3)
+	p.Histogram(h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["jobs_total"]; f.Type != "counter" || f.Value != 42 {
+		t.Errorf("jobs_total = %+v", f)
+	}
+	if f := byName["queue_depth"]; f.Type != "gauge" || f.Value != 3 {
+		t.Errorf("queue_depth = %+v", f)
+	}
+	f, ok := byName["dwell"]
+	if !ok || f.Type != "histogram" {
+		t.Fatalf("dwell family missing: %+v", fams)
+	}
+	if f.Help != "optimizer dwell\nsecond line" {
+		t.Errorf("help round-trip: %q", f.Help)
+	}
+	if f.Count != 3 || f.Sum != 5055 {
+		t.Errorf("sum/count: %+v", f)
+	}
+	if len(f.Buckets) != 3 {
+		t.Fatalf("buckets: %+v", f.Buckets)
+	}
+	if f.Buckets[0].Le != 10 || f.Buckets[0].Count != 1 {
+		t.Errorf("bucket 0: %+v", f.Buckets[0])
+	}
+	if !math.IsInf(f.Buckets[2].Le, 1) || f.Buckets[2].Count != 3 {
+		t.Errorf("+Inf bucket: %+v", f.Buckets[2])
+	}
+}

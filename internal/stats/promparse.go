@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromBucket is one cumulative histogram bucket from a parsed
+// exposition; Le is math.Inf(1) for the +Inf bucket.
+type PromBucket struct {
+	Le    float64
+	Count float64
+}
+
+// PromFamily is one metric family parsed from the Prometheus text
+// format. For counters and gauges Value holds the sample; for
+// histograms Buckets/Sum/Count hold the decomposed samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", or "" if untyped
+	Value   float64
+	Buckets []PromBucket
+	Sum     float64
+	Count   float64
+}
+
+// ParseProm parses the subset of the Prometheus text exposition format
+// that Prom emits (unlabeled counters/gauges plus histograms whose only
+// label is le). It exists so replayctl can pretty-print a scraped
+// /metrics without pulling in a client library. Unknown or malformed
+// lines are skipped rather than fatal: a monitoring formatter should
+// degrade, not refuse.
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	byName := map[string]*PromFamily{}
+	var order []string
+	family := func(name string) *PromFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				text := ""
+				if len(fields) == 4 {
+					text = unescapeHelp(fields[3])
+				}
+				family(fields[2]).Help = text
+			case "TYPE":
+				if len(fields) == 4 {
+					family(fields[2]).Type = fields[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			f := family(base)
+			if f.Type == "histogram" {
+				le, err := parseLe(labels)
+				if err == nil {
+					f.Buckets = append(f.Buckets, PromBucket{Le: le, Count: value})
+				}
+				continue
+			}
+			family(name).Value = value
+		case strings.HasSuffix(name, "_sum") && byName[strings.TrimSuffix(name, "_sum")] != nil &&
+			byName[strings.TrimSuffix(name, "_sum")].Type == "histogram":
+			byName[strings.TrimSuffix(name, "_sum")].Sum = value
+		case strings.HasSuffix(name, "_count") && byName[strings.TrimSuffix(name, "_count")] != nil &&
+			byName[strings.TrimSuffix(name, "_count")].Type == "histogram":
+			byName[strings.TrimSuffix(name, "_count")].Count = value
+		default:
+			family(name).Value = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]PromFamily, 0, len(order))
+	for _, name := range order {
+		f := byName[name]
+		sort.Slice(f.Buckets, func(i, j int) bool { return f.Buckets[i].Le < f.Buckets[j].Le })
+		out = append(out, *f)
+	}
+	return out, nil
+}
+
+// parseSample splits "name{labels} value" or "name value". A trailing
+// timestamp, if present, is ignored.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", 0, false
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, false
+		}
+		name, rest = fields[0], fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+func parseLe(labels string) (float64, error) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k != "le" {
+			continue
+		}
+		v = strings.Trim(v, `"`)
+		if v == "+Inf" {
+			return math.Inf(1), nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	return 0, fmt.Errorf("no le label in %q", labels)
+}
+
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

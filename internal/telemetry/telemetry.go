@@ -1,0 +1,378 @@
+// Package telemetry is the frame-lifecycle event layer: a nil-safe
+// Collector that the constructor, optimizer, frame cache, and pipeline
+// engine report into. It has three consumers — per-pass attribution
+// tables, fixed-bucket histograms exported from replayd's /metrics, and
+// an opt-in ring of Chrome trace_event records — behind one atomic
+// enabled gate so the disabled path costs a nil check plus one atomic
+// load.
+//
+// The layer sits below internal/stats on purpose: stats renders
+// (tables, bars, Prometheus text), telemetry collects. Producers in the
+// pipeline never format anything; consumers (replaysim -attr, replayd
+// /metrics, trace export) pull snapshots and choose a renderer.
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Thread (tid) lanes for trace events: one per lifecycle stage so
+// Perfetto renders construction, optimization, fetch, and cache
+// activity as separate tracks.
+const (
+	TidConstruct = 1
+	TidOptimize  = 2
+	TidFetch     = 3
+	TidCache     = 4
+)
+
+// HistogramSet holds the four lifecycle histograms. It is shared: a
+// per-job trace collector in replayd can feed the same set as the
+// daemon's global collector, so /metrics aggregates across jobs.
+type HistogramSet struct {
+	FrameUOps      *stats.Histogram // frame length at construction, in uops
+	OptDwell       *stats.Histogram // optimizer occupancy per frame, in cycles
+	CacheResidency *stats.Histogram // frame-cache residency at eviction, in cycles
+	FetchRetire    *stats.Histogram // per-slot fetch-to-retire latency, in cycles
+}
+
+// NewHistogramSet allocates the lifecycle histograms with bucket
+// bounds sized to the paper's frame regime (frames of 8..256 uops,
+// optimizer dwell of ~10 cycles/uop).
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{
+		FrameUOps: stats.NewHistogram("replay_frame_uops",
+			"Frame length in micro-ops at construction",
+			8, 16, 32, 64, 128, 192, 256),
+		OptDwell: stats.NewHistogram("replay_opt_dwell_cycles",
+			"Cycles a frame occupies an optimizer slot",
+			64, 256, 1024, 2560, 5120, 10240),
+		CacheResidency: stats.NewHistogram("replay_frame_cache_residency_cycles",
+			"Cycles a frame stayed in the frame cache before eviction",
+			1024, 16384, 65536, 262144, 1048576),
+		FetchRetire: stats.NewHistogram("replay_fetch_retire_cycles",
+			"Per-slot latency from fetch to retirement",
+			4, 8, 16, 32, 64, 128, 256),
+	}
+}
+
+// All returns the histograms in a stable order for exposition.
+func (h *HistogramSet) All() []*stats.Histogram {
+	return []*stats.Histogram{h.FrameUOps, h.OptDwell, h.CacheResidency, h.FetchRetire}
+}
+
+// Config selects which consumers a Collector feeds.
+type Config struct {
+	// Hist, when non-nil, receives histogram samples. Use
+	// NewHistogramSet for a private set or share one across collectors.
+	Hist *HistogramSet
+	// Attribution enables the per-pass killed/rewritten table.
+	Attribution bool
+	// TraceEvents, when positive, enables the lifecycle-event ring with
+	// that capacity; oldest events are overwritten on overflow.
+	TraceEvents int
+	// Label tags exported trace events ("job" arg). In daemon mode this
+	// is the job's coalescing key, making traces per-request
+	// attributable.
+	Label string
+}
+
+// PassStat is one row of the attribution table: what a named optimizer
+// pass did across all frames it touched.
+type PassStat struct {
+	Pass      string // pass name (nop, cp, ra, cse, cse-load, sf, assert, dce)
+	Calls     uint64 // invocations that changed something
+	Killed    uint64 // uops invalidated by the pass
+	Rewritten uint64 // uops rewritten in place (folds, reassociations, load conversions)
+}
+
+// PassOrder is the canonical display order for attribution rows; it
+// mirrors the sequence Optimize runs the passes in.
+var PassOrder = []string{"nop", "cp", "ra", "cse", "cse-load", "sf", "assert", "dce"}
+
+// Collector receives lifecycle events. All methods are safe on a nil
+// receiver and cheap when disabled: the hot path is one atomic load.
+type Collector struct {
+	enabled atomic.Bool
+	label   string
+	hist    *HistogramSet
+
+	attrMu sync.Mutex
+	attr   map[string]*PassStat // nil when attribution is off
+
+	ring *ring // nil when tracing is off
+
+	runMu    sync.Mutex
+	runNames map[int]string
+	nextRun  int
+}
+
+// New returns an enabled collector for the given configuration.
+func New(cfg Config) *Collector {
+	c := &Collector{
+		label:    cfg.Label,
+		hist:     cfg.Hist,
+		runNames: map[int]string{},
+	}
+	if cfg.Attribution {
+		c.attr = map[string]*PassStat{}
+	}
+	if cfg.TraceEvents > 0 {
+		c.ring = newRing(cfg.TraceEvents)
+	}
+	c.enabled.Store(true)
+	return c
+}
+
+// Enabled reports whether events are being recorded.
+func (c *Collector) Enabled() bool { return c != nil && c.enabled.Load() }
+
+// SetEnabled flips the atomic gate; a disabled collector keeps its
+// accumulated state and can be re-enabled.
+func (c *Collector) SetEnabled(on bool) {
+	if c != nil {
+		c.enabled.Store(on)
+	}
+}
+
+// Label returns the job label (coalescing key in daemon mode).
+func (c *Collector) Label() string {
+	if c == nil {
+		return ""
+	}
+	return c.label
+}
+
+// RequiresExecution reports whether this collector needs the simulator
+// to actually execute (attribution or tracing): runs feeding only
+// histograms may still be served from the memo cache, but a memoized
+// run produces no per-pass or per-event data.
+func (c *Collector) RequiresExecution() bool {
+	return c != nil && (c.attr != nil || c.ring != nil)
+}
+
+// HasTrace reports whether a trace ring was configured.
+func (c *Collector) HasTrace() bool { return c != nil && c.ring != nil }
+
+// HasAttribution reports whether the per-pass table was configured and
+// the collector is enabled; callers use it to skip the per-pass
+// measurement wrapper (live-count deltas around every pass) entirely
+// when nobody consumes it. Unlike RequiresExecution — which reflects
+// configuration only, so the memo decision is stable across enable
+// toggles — this gate also respects the atomic enabled flag.
+func (c *Collector) HasAttribution() bool {
+	return c != nil && c.attr != nil && c.enabled.Load()
+}
+
+// NewRun registers a named run (one engine execution) and returns its
+// id, used as the pid of its trace events so cycle counters that reset
+// per run stay monotonic within a track.
+func (c *Collector) NewRun(name string) int {
+	if c == nil {
+		return 0
+	}
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.nextRun++
+	c.runNames[c.nextRun] = name
+	return c.nextRun
+}
+
+// FrameConstructed records a finished frame: length histogram plus a
+// construct instant on the construction track.
+func (c *Collector) FrameConstructed(run int, cycle, frameID uint64, pc uint32, uops int) {
+	if c == nil || !c.enabled.Load() {
+		return
+	}
+	if c.hist != nil {
+		c.hist.FrameUOps.Observe(uint64(uops))
+	}
+	if c.ring != nil {
+		c.ring.add(ringEvent{name: "construct", ph: phInstant, ts: cycle,
+			pid: run, tid: TidConstruct, frame: frameID, pc: pc, uops: uops})
+	}
+}
+
+// FeedSpan records one FeedTrace call on the construction track:
+// records fed and distinct PCs decoded.
+func (c *Collector) FeedSpan(run int, start, end uint64, records, decoded int) {
+	if c == nil || !c.enabled.Load() || c.ring == nil {
+		return
+	}
+	c.ring.add(ringEvent{name: "feed", ph: phComplete, ts: start, dur: end - start,
+		pid: run, tid: TidConstruct, uops: records, aux: uint64(decoded)})
+}
+
+// FrameOptimized records one frame leaving the optimizer: dwell
+// histogram plus a complete span on the optimize track.
+func (c *Collector) FrameOptimized(run int, start uint64, frameID uint64, pc uint32, uopsIn, uopsOut int, dwell uint64) {
+	if c == nil || !c.enabled.Load() {
+		return
+	}
+	if c.hist != nil {
+		c.hist.OptDwell.Observe(dwell)
+	}
+	if c.ring != nil {
+		c.ring.add(ringEvent{name: "optimize", ph: phComplete, ts: start, dur: dwell,
+			pid: run, tid: TidOptimize, frame: frameID, pc: pc, uops: uopsIn, aux: uint64(uopsOut)})
+	}
+}
+
+// RecordPass folds one optimizer pass invocation into the attribution
+// table. Pass-level events stay out of the trace ring — the per-frame
+// "optimize" span already covers them and passes run thousands of
+// times per frame-cache fill.
+func (c *Collector) RecordPass(frameID uint64, pass string, killed, rewritten int) {
+	if c == nil || !c.enabled.Load() || c.attr == nil {
+		return
+	}
+	c.attrMu.Lock()
+	ps := c.attr[pass]
+	if ps == nil {
+		ps = &PassStat{Pass: pass}
+		c.attr[pass] = ps
+	}
+	ps.Calls++
+	ps.Killed += uint64(killed)
+	ps.Rewritten += uint64(rewritten)
+	c.attrMu.Unlock()
+}
+
+// AttributionSnapshot returns the per-pass table in canonical pass
+// order (unknown passes follow alphabetically). Returns nil when
+// attribution is off.
+func (c *Collector) AttributionSnapshot() []PassStat {
+	if c == nil || c.attr == nil {
+		return nil
+	}
+	c.attrMu.Lock()
+	rest := make([]PassStat, 0, len(c.attr))
+	known := make(map[string]PassStat, len(c.attr))
+	for name, ps := range c.attr {
+		known[name] = *ps
+	}
+	c.attrMu.Unlock()
+
+	out := make([]PassStat, 0, len(known))
+	for _, name := range PassOrder {
+		if ps, ok := known[name]; ok {
+			out = append(out, ps)
+			delete(known, name)
+		}
+	}
+	for _, ps := range known {
+		rest = append(rest, ps)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Pass < rest[j].Pass })
+	return append(out, rest...)
+}
+
+// CacheInsert records a frame entering the frame cache.
+func (c *Collector) CacheInsert(run int, cycle uint64, pc uint32, uops int) {
+	if c == nil || !c.enabled.Load() || c.ring == nil {
+		return
+	}
+	c.ring.add(ringEvent{name: "cache-insert", ph: phInstant, ts: cycle,
+		pid: run, tid: TidCache, pc: pc, uops: uops})
+}
+
+// CacheEvict records a frame leaving the frame cache after residency
+// cycles.
+func (c *Collector) CacheEvict(run int, cycle uint64, pc uint32, uops int, residency uint64) {
+	if c == nil || !c.enabled.Load() {
+		return
+	}
+	if c.hist != nil {
+		c.hist.CacheResidency.Observe(residency)
+	}
+	if c.ring != nil {
+		c.ring.add(ringEvent{name: "cache-evict", ph: phInstant, ts: cycle,
+			pid: run, tid: TidCache, pc: pc, uops: uops, aux: residency})
+	}
+}
+
+// CacheResident folds the residency of a frame still cached at end of
+// run into the histogram without fabricating an eviction event.
+func (c *Collector) CacheResident(residency uint64) {
+	if c == nil || !c.enabled.Load() || c.hist == nil {
+		return
+	}
+	c.hist.CacheResidency.Observe(residency)
+}
+
+// CacheHit records a frame-cache lookup hit.
+func (c *Collector) CacheHit(run int, cycle uint64, pc uint32) {
+	if c == nil || !c.enabled.Load() || c.ring == nil {
+		return
+	}
+	c.ring.add(ringEvent{name: "cache-hit", ph: phInstant, ts: cycle,
+		pid: run, tid: TidCache, pc: pc})
+}
+
+// FetchRetire records one dispatched slot's fetch-to-retire latency.
+// This is the hottest call site (every uop), so it touches only the
+// histogram — no ring event.
+func (c *Collector) FetchRetire(latency uint64) {
+	if c == nil || !c.enabled.Load() || c.hist == nil {
+		return
+	}
+	c.hist.FetchRetire.Observe(latency)
+}
+
+// FrameFetch records one frame execution on the fetch track, from
+// fetch start to commit or abort.
+func (c *Collector) FrameFetch(run int, start, end uint64, frameID uint64, pc uint32, uops int, committed bool) {
+	if c == nil || !c.enabled.Load() || c.ring == nil {
+		return
+	}
+	name := "frame-commit"
+	if !committed {
+		name = "frame-abort"
+	}
+	c.ring.add(ringEvent{name: name, ph: phComplete, ts: start, dur: end - start,
+		pid: run, tid: TidFetch, frame: frameID, pc: pc, uops: uops})
+}
+
+// TraceFetch records one trace-cache entry execution on the fetch
+// track (TC mode has no frame ids).
+func (c *Collector) TraceFetch(run int, start, end uint64, pc uint32, uops int) {
+	if c == nil || !c.enabled.Load() || c.ring == nil {
+		return
+	}
+	c.ring.add(ringEvent{name: "trace-fetch", ph: phComplete, ts: start, dur: end - start,
+		pid: run, tid: TidFetch, pc: pc, uops: uops})
+}
+
+// AssertFired records an assertion firing (frame abort) on the fetch
+// track.
+func (c *Collector) AssertFired(run int, cycle, frameID uint64, pc uint32, unsafe bool) {
+	if c == nil || !c.enabled.Load() || c.ring == nil {
+		return
+	}
+	aux := uint64(0)
+	if unsafe {
+		aux = 1
+	}
+	c.ring.add(ringEvent{name: "assert-fire", ph: phInstant, ts: cycle,
+		pid: run, tid: TidFetch, frame: frameID, pc: pc, aux: aux})
+}
+
+type ctxKey struct{}
+
+// NewContext attaches a collector to ctx; the server uses this to hand
+// a per-job collector through the Runner boundary without changing its
+// signature.
+func NewContext(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext extracts the collector attached by NewContext, or nil.
+func FromContext(ctx context.Context) *Collector {
+	c, _ := ctx.Value(ctxKey{}).(*Collector)
+	return c
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector enabled")
+	}
+	c.SetEnabled(true)
+	c.FrameConstructed(0, 0, 1, 0x10, 8)
+	c.FeedSpan(0, 0, 10, 100, 5)
+	c.FrameOptimized(0, 0, 1, 0x10, 8, 6, 80)
+	c.RecordPass(1, "dce", 2, 0)
+	c.CacheInsert(0, 0, 0x10, 8)
+	c.CacheEvict(0, 0, 0x10, 8, 100)
+	c.CacheResident(5)
+	c.CacheHit(0, 0, 0x10)
+	c.FetchRetire(12)
+	c.FrameFetch(0, 0, 10, 1, 0x10, 8, true)
+	c.TraceFetch(0, 0, 10, 0x10, 8)
+	c.AssertFired(0, 5, 1, 0x10, false)
+	if c.NewRun("x") != 0 {
+		t.Fatal("nil NewRun")
+	}
+	if c.AttributionSnapshot() != nil {
+		t.Fatal("nil attribution")
+	}
+	if c.RequiresExecution() {
+		t.Fatal("nil requires execution")
+	}
+	if err := c.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil WriteTrace should error")
+	}
+}
+
+func TestDisabledGate(t *testing.T) {
+	c := New(Config{Hist: NewHistogramSet(), Attribution: true, TraceEvents: 16})
+	c.SetEnabled(false)
+	c.FrameConstructed(1, 10, 1, 0x10, 8)
+	c.RecordPass(1, "dce", 3, 0)
+	c.FetchRetire(9)
+	if s := c.hist.FrameUOps.Snapshot(); s.Count != 0 {
+		t.Errorf("histogram recorded while disabled: %d", s.Count)
+	}
+	if len(c.AttributionSnapshot()) != 0 {
+		t.Error("attribution recorded while disabled")
+	}
+	c.SetEnabled(true)
+	c.FrameConstructed(1, 10, 1, 0x10, 8)
+	if s := c.hist.FrameUOps.Snapshot(); s.Count != 1 {
+		t.Errorf("histogram not recorded after re-enable: %d", s.Count)
+	}
+}
+
+func TestAttributionOrder(t *testing.T) {
+	c := New(Config{Attribution: true})
+	if !c.RequiresExecution() {
+		t.Fatal("attribution collector should require execution")
+	}
+	c.RecordPass(1, "dce", 5, 0)
+	c.RecordPass(1, "cp", 1, 2)
+	c.RecordPass(2, "cp", 0, 3)
+	c.RecordPass(2, "zz-custom", 1, 0)
+	snap := c.AttributionSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("rows: %+v", snap)
+	}
+	if snap[0].Pass != "cp" || snap[1].Pass != "dce" || snap[2].Pass != "zz-custom" {
+		t.Errorf("order: %+v", snap)
+	}
+	if snap[0].Calls != 2 || snap[0].Killed != 1 || snap[0].Rewritten != 5 {
+		t.Errorf("cp row: %+v", snap[0])
+	}
+}
+
+func TestTraceExportValidates(t *testing.T) {
+	c := New(Config{TraceEvents: 128, Label: "job-key-1"})
+	run := c.NewRun("bzip2/RPO/t0")
+	c.FeedSpan(run, 0, 50, 1000, 40)
+	c.FrameConstructed(run, 30, 1, 0x400, 64)
+	c.FrameOptimized(run, 100, 1, 0x400, 64, 50, 640)
+	c.CacheInsert(run, 740, 0x400, 50)
+	c.CacheHit(run, 800, 0x400)
+	c.FrameFetch(run, 805, 850, 1, 0x400, 50, true)
+	c.AssertFired(run, 900, 1, 0x400, true)
+	c.CacheEvict(run, 1000, 0x400, 50, 260)
+	// Out-of-order arrival: a second run's early event after run 1's
+	// late ones must not break per-track monotonicity.
+	run2 := c.NewRun("bzip2/RPO/t1")
+	c.FrameConstructed(run2, 5, 2, 0x500, 32)
+
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"job":"job-key-1"`, "bzip2/RPO/t0", "frame-commit", "assert-fire",
+		"cache-evict", `"residency":260`, "process_name", "thread_name",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in trace:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	c := New(Config{TraceEvents: 4})
+	run := c.NewRun("r")
+	for i := uint64(0); i < 10; i++ {
+		c.FrameConstructed(run, i, i+1, 0x10, 8)
+	}
+	events, dropped := c.ring.snapshot()
+	if len(events) != 4 {
+		t.Fatalf("ring kept %d events", len(events))
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if events[0].ts != 6 || events[3].ts != 9 {
+		t.Errorf("ring kept wrong window: %v..%v", events[0].ts, events[3].ts)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{"traceEvents": [}`,
+		"empty":         `{"traceEvents": []}`,
+		"missing name":  `{"traceEvents": [{"ph":"i","ts":1,"pid":1,"tid":1}]}`,
+		"missing ph":    `{"traceEvents": [{"name":"x","ts":1,"pid":1,"tid":1}]}`,
+		"missing ts":    `{"traceEvents": [{"name":"x","ph":"i","pid":1,"tid":1}]}`,
+		"non-monotonic": `{"traceEvents": [{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},{"name":"b","ph":"i","ts":4,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateTrace([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := `{"traceEvents": [{"name":"m","ph":"M","pid":1,"tid":1},{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},{"name":"b","ph":"i","ts":5,"pid":1,"tid":2}]}`
+	if err := ValidateTrace([]byte(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context")
+	}
+	c := New(Config{})
+	ctx := NewContext(context.Background(), c)
+	if FromContext(ctx) != c {
+		t.Fatal("round trip")
+	}
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event phases from the Chrome trace_event format: complete spans,
+// instants, and metadata records.
+const (
+	phComplete = "X"
+	phInstant  = "i"
+	phMetadata = "M"
+)
+
+// ringEvent is the compact in-memory form of one lifecycle event. The
+// human-readable args map is built only at export time.
+type ringEvent struct {
+	name  string
+	ph    string
+	ts    uint64 // cycle the event starts at
+	dur   uint64 // span length (phComplete only)
+	pid   int    // run id (NewRun)
+	tid   int    // lifecycle lane (Tid* constants)
+	frame uint64 // frame id, 0 if not applicable
+	pc    uint32 // frame/entry start PC, 0 if not applicable
+	uops  int    // primary size payload (uops, records, killed)
+	aux   uint64 // event-specific secondary payload
+	seq   uint64 // arrival order, for stable sorting
+}
+
+// ring is a bounded overwrite-oldest event buffer. Tracing is opt-in
+// and per-job, so a mutex (not a lock-free queue) is plenty; the hot
+// path when tracing is off never reaches here.
+type ring struct {
+	mu      sync.Mutex
+	buf     []ringEvent
+	next    int
+	wrapped bool
+	seq     uint64
+	dropped uint64
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]ringEvent, capacity)}
+}
+
+func (r *ring) add(e ringEvent) {
+	r.mu.Lock()
+	e.seq = r.seq
+	r.seq++
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the buffered events in arrival order.
+func (r *ring) snapshot() (events []ringEvent, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		events = append(events, r.buf[r.next:]...)
+		events = append(events, r.buf[:r.next]...)
+	} else {
+		events = append(events, r.buf[:r.next]...)
+	}
+	return events, r.dropped
+}
+
+// traceEvent is the exported Chrome trace_event JSON shape.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the trace format; viewers also
+// accept a bare array, but the object form carries metadata.
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+var tidNames = map[int]string{
+	TidConstruct: "construct",
+	TidOptimize:  "optimize",
+	TidFetch:     "fetch",
+	TidCache:     "frame-cache",
+}
+
+// WriteTrace serializes the ring as Chrome trace_event JSON, viewable
+// in chrome://tracing or Perfetto. Events are sorted by timestamp
+// (cycle) so ts is monotonic within every (pid, tid) track even though
+// the ring holds arrival order. Returns an error if tracing was not
+// enabled.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	if c == nil || c.ring == nil {
+		return fmt.Errorf("telemetry: trace ring not enabled")
+	}
+	events, dropped := c.ring.snapshot()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		return events[i].seq < events[j].seq
+	})
+
+	c.runMu.Lock()
+	runs := make(map[int]string, len(c.runNames))
+	for id, name := range c.runNames {
+		runs[id] = name
+	}
+	c.runMu.Unlock()
+
+	out := traceFile{OtherData: map[string]any{"dropped_events": dropped}}
+	if c.label != "" {
+		out.OtherData["job"] = c.label
+	}
+
+	// Metadata first: name each run's process and each lane's thread.
+	runIDs := make([]int, 0, len(runs))
+	for id := range runs {
+		runIDs = append(runIDs, id)
+	}
+	sort.Ints(runIDs)
+	for _, id := range runIDs {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: phMetadata, Pid: id,
+			Args: map[string]any{"name": runs[id]},
+		})
+		for tid := TidConstruct; tid <= TidCache; tid++ {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: phMetadata, Pid: id, Tid: tid,
+				Args: map[string]any{"name": tidNames[tid]},
+			})
+		}
+	}
+
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.name,
+			Cat:  tidNames[e.tid],
+			Ph:   e.ph,
+			TS:   e.ts,
+			Dur:  e.dur,
+			Pid:  e.pid,
+			Tid:  e.tid,
+			Args: map[string]any{},
+		}
+		if e.ph == phInstant {
+			te.S = "t" // thread-scoped instant
+		}
+		if e.frame != 0 {
+			te.Args["frame"] = e.frame
+		}
+		if e.pc != 0 {
+			te.Args["pc"] = fmt.Sprintf("%#x", e.pc)
+		}
+		switch e.name {
+		case "feed":
+			te.Args["records"] = e.uops
+			te.Args["decoded"] = e.aux
+		case "optimize":
+			te.Args["uops_in"] = e.uops
+			te.Args["uops_out"] = e.aux
+		case "cache-evict":
+			te.Args["uops"] = e.uops
+			te.Args["residency"] = e.aux
+		case "assert-fire":
+			te.Args["unsafe"] = e.aux == 1
+		default:
+			if e.uops != 0 {
+				te.Args["uops"] = e.uops
+			}
+		}
+		if c.label != "" {
+			te.Args["job"] = c.label
+		}
+		if len(te.Args) == 0 {
+			te.Args = nil
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateTrace checks data against the Chrome trace-event shape the
+// exporter promises: well-formed JSON, every event carrying name/ph,
+// and ts monotonically non-decreasing within each (pid, tid) track.
+// CI's trace smoke step and tests share this.
+func ValidateTrace(data []byte) error {
+	var tf struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Ph   *string `json:"ph"`
+			TS   *int64  `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("trace JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+	type track struct{ pid, tid int }
+	last := map[track]int64{}
+	for i, e := range tf.TraceEvents {
+		if e.Name == nil || *e.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if e.Ph == nil || *e.Ph == "" {
+			return fmt.Errorf("event %d: missing ph", i)
+		}
+		if *e.Ph == phMetadata {
+			continue
+		}
+		if e.TS == nil {
+			return fmt.Errorf("event %d (%s): missing ts", i, *e.Name)
+		}
+		k := track{e.Pid, e.Tid}
+		if prev, ok := last[k]; ok && *e.TS < prev {
+			return fmt.Errorf("event %d (%s): ts %d < %d on track pid=%d tid=%d",
+				i, *e.Name, *e.TS, prev, e.Pid, e.Tid)
+		}
+		last[k] = *e.TS
+	}
+	return nil
+}

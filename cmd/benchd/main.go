@@ -1,0 +1,117 @@
+// Command benchd is the performance-regression harness: it runs the
+// standardized benchmark suite (simulator wall time, engine and
+// optimizer throughput, replayd end-to-end request latency), repeats
+// each benchmark N times, and writes a schema-versioned BENCH_<n>.json
+// report — the repo's recorded performance trajectory. In compare mode
+// it diffs two reports and exits non-zero when any metric regresses
+// beyond the noise threshold, so CI can catch a slowed hot path that
+// tier-1 tests would pass silently.
+//
+// Usage:
+//
+//	benchd [-quick] [-repeats N] [-insts N] [-run regex] [-out file.json]
+//	benchd -compare OLD.json NEW.json [-threshold 0.25]
+//	benchd -list
+//
+// Without -out, the report continues the BENCH_<n>.json sequence in the
+// current directory (BENCH_1.json, BENCH_2.json, ...).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/benchmark"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced budget and repeats (CI smoke mode)")
+	repeats := flag.Int("repeats", 0, "override repetitions per benchmark")
+	insts := flag.Int("insts", 0, "override per-trace instruction budget")
+	run := flag.String("run", "", "only run benchmarks matching this regexp")
+	out := flag.String("out", "", "report path (default: next BENCH_<n>.json in the current directory)")
+	compare := flag.Bool("compare", false, "compare two reports: benchd -compare OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0.25, "relative worsening that counts as a regression in -compare")
+	list := flag.Bool("list", false, "list the suite's benchmarks and exit")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two report paths, got %d", flag.NArg()))
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
+	specs := benchmark.Suite()
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-28s %-8s better=%s\n", s.Name, s.Unit, s.Better)
+		}
+		return
+	}
+	specs, err := benchmark.Filter(specs, *run)
+	if err != nil {
+		fatal(err)
+	}
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("no benchmarks match -run %q", *run))
+	}
+
+	settings := benchmark.DefaultSettings()
+	if *quick {
+		settings = benchmark.QuickSettings()
+	}
+	if *repeats > 0 {
+		settings.Repeats = *repeats
+	}
+	if *insts > 0 {
+		settings.Insts = *insts
+	}
+
+	path := *out
+	if path == "" {
+		if path, err = benchmark.NextReportPath("."); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := benchmark.RunSuite(ctx, specs, settings, func(line string) {
+		fmt.Fprintln(os.Stderr, "benchd:", line)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := benchmark.WriteReport(path, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchd: wrote %s (%d metrics, %d repeats, %d insts)\n",
+		path, len(rep.Metrics), settings.Repeats, settings.Insts)
+}
+
+func compareReports(oldPath, newPath string, threshold float64) int {
+	old, err := benchmark.ReadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchmark.ReadReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	c := benchmark.Compare(old, cur, threshold)
+	c.WriteText(os.Stdout)
+	if c.Regressions() > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchd:", err)
+	os.Exit(1)
+}

@@ -105,15 +105,26 @@ func printMetrics(r io.Reader, w io.Writer) error {
 		return err
 	}
 	t := stats.NewTable("Metric", "Type", "Value")
-	var hists []stats.PromFamily
+	var hists, summaries []stats.PromFamily
 	for _, f := range fams {
-		if f.Type == "histogram" {
+		switch f.Type {
+		case "histogram":
 			hists = append(hists, f)
+			continue
+		case "summary":
+			summaries = append(summaries, f)
 			continue
 		}
 		t.Row(f.Name, f.Type, strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f.Value), "0"), "."))
 	}
 	t.Write(w)
+	for _, s := range summaries {
+		fmt.Fprintf(w, "\n%s (summary): %.0f samples", s.Name, s.Count)
+		for _, q := range s.Quantiles {
+			fmt.Fprintf(w, "  p%g=%.4g", q.Q*100, q.V)
+		}
+		fmt.Fprintln(w)
+	}
 	for _, h := range hists {
 		mean := 0.0
 		if h.Count > 0 {

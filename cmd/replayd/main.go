@@ -7,6 +7,12 @@
 //	replayd [-addr :8080] [-workers 2] [-queue 64] [-max-insts N]
 //	        [-memo-entries N] [-capture-entries N] [-capture-bytes N]
 //	        [-drain-timeout 30s] [-pprof addr] [-trace-events N]
+//	        [-log-format text|json] [-log-level debug|info|warn|error]
+//
+// Every job lifecycle line (accepted, coalesced, started, finished,
+// rejected) is structured and carries the job ID and coalescing key;
+// -log-format json emits machine-parseable records for log shippers,
+// -log-level debug adds a per-request HTTP access log.
 //
 // Endpoints:
 //
@@ -30,7 +36,9 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -41,6 +49,32 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 )
+
+// newLogger builds the daemon's structured logger from the -log-format
+// and -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -53,7 +87,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	traceEvents := flag.Int("trace-events", 0, "per-job trace ring size for requests with \"trace\": true (0 = default 65536)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		log.Fatalf("replayd: %v", err)
+	}
+	slog.SetDefault(logger)
 
 	sim.SetMemoLimit(*memoEntries)
 	sim.SetCaptureLimits(*captureEntries, *captureBytes)
@@ -70,9 +112,9 @@ func main() {
 		pm.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		go func() {
-			log.Printf("replayd: pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
-				log.Printf("replayd: pprof server: %v", err)
+				logger.Error("pprof server failed", "error", err)
 			}
 		}()
 	}
@@ -82,6 +124,7 @@ func main() {
 		QueueDepth:  *queue,
 		MaxInsts:    *maxInsts,
 		TraceEvents: *traceEvents,
+		Logger:      logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: core.Handler()}
 
@@ -90,24 +133,24 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		got := <-sig
-		log.Printf("replayd: %s received, draining (timeout %s)", got, *drainTimeout)
+		logger.Info("signal received, draining", "signal", got.String(), "timeout", drainTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain the job queue first so synchronous waiters get their
 		// results, then stop the listener (which waits for handlers).
 		if err := core.Shutdown(ctx); err != nil {
-			log.Printf("replayd: job drain incomplete: %v", err)
+			logger.Warn("job drain incomplete", "error", err)
 		}
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("replayd: http shutdown: %v", err)
+			logger.Warn("http shutdown", "error", err)
 		}
 		close(idle)
 	}()
 
-	log.Printf("replayd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "log_format", *logFormat)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("replayd: %v", err)
 	}
 	<-idle
-	log.Printf("replayd: drained, exiting")
+	logger.Info("drained, exiting")
 }

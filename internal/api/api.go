@@ -265,7 +265,11 @@ type Job struct {
 
 // Event is one line of a job's progress stream.
 type Event struct {
-	Seq   int    `json:"seq"`
+	Seq int `json:"seq"`
+	// JobID names the job the event belongs to; it matches the job_id
+	// attribute on the daemon's structured log lines, so a log line and
+	// a progress stream can be joined on it.
+	JobID string `json:"job,omitempty"`
 	State string `json:"state,omitempty"`
 	// Msg describes the completed step, e.g. "bzip2/RPO done".
 	Msg string `json:"msg,omitempty"`

@@ -1,0 +1,285 @@
+// Package benchmark is the performance-regression observatory: a
+// standardized suite of wall-clock benchmarks over the simulator, the
+// pipeline engine, the optimizer, and the replayd serving path, run N
+// times each and summarized as mean/stddev/min/p50/p95. Reports are
+// schema-versioned JSON (the BENCH_<n>.json trajectory at the repo
+// root) and machine-diffable: Compare flags direction-aware regressions
+// beyond a noise threshold, so a PR that slows a hot path fails loudly
+// instead of passing tier-1 tests silently.
+package benchmark
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it on any
+// field change that would make old reports incomparable.
+const SchemaVersion = 1
+
+// Direction says which way a metric should move.
+type Direction string
+
+const (
+	// Lower marks latency-style metrics (wall milliseconds).
+	Lower Direction = "lower"
+	// Higher marks throughput-style metrics (uops per second).
+	Higher Direction = "higher"
+)
+
+// Settings sizes one suite run.
+type Settings struct {
+	// Insts is the per-trace instruction budget each benchmark
+	// simulates or captures.
+	Insts int `json:"insts"`
+	// Repeats is how many measured repetitions feed each metric.
+	Repeats int `json:"repeats"`
+	// Quick records that the reduced CI budget was used; quick reports
+	// still compare (the schema is identical) but the flag makes the
+	// provenance visible.
+	Quick bool `json:"quick"`
+}
+
+// DefaultSettings is the baseline configuration BENCH_*.json files are
+// recorded with.
+func DefaultSettings() Settings { return Settings{Insts: 200_000, Repeats: 10} }
+
+// QuickSettings is the CI smoke configuration: small budget, few
+// repeats, finishes in seconds.
+func QuickSettings() Settings { return Settings{Insts: 40_000, Repeats: 3, Quick: true} }
+
+// Spec is one benchmark: Setup (optional) prepares shared state and
+// returns a teardown; Run executes one repetition and returns the
+// measured value. Run does its own timing so per-repetition preparation
+// (remapping frames, rebuilding streams) stays out of the measurement.
+type Spec struct {
+	Name   string
+	Unit   string
+	Better Direction
+	Setup  func(ctx context.Context, s Settings) (teardown func(), err error)
+	Run    func(ctx context.Context, s Settings) (float64, error)
+}
+
+// Metric is one benchmark's summarized samples as serialized into the
+// report.
+type Metric struct {
+	Name   string `json:"name"`
+	Unit   string `json:"unit"`
+	Better string `json:"better"`
+
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+
+	// Samples are the raw per-repetition values, kept for noise
+	// inspection; Compare reads only the summary fields.
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// Report is one BENCH_<n>.json file.
+type Report struct {
+	Schema    int       `json:"schema_version"`
+	CreatedAt time.Time `json:"created_at"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Settings  Settings  `json:"settings"`
+	Metrics   []Metric  `json:"metrics"`
+}
+
+// Metric returns the named metric, or nil.
+func (r *Report) Metric(name string) *Metric {
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Summarize reduces raw samples to a Metric.
+func Summarize(name, unit string, better Direction, samples []float64) Metric {
+	m := Metric{
+		Name:    name,
+		Unit:    unit,
+		Better:  string(better),
+		N:       len(samples),
+		Samples: samples,
+	}
+	if len(samples) == 0 {
+		return m
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	m.Min = sorted[0]
+	m.P50 = Percentile(sorted, 0.50)
+	m.P95 = Percentile(sorted, 0.95)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	m.Mean = sum / float64(len(samples))
+	var ss float64
+	for _, v := range samples {
+		d := v - m.Mean
+		ss += d * d
+	}
+	if len(samples) > 1 {
+		m.Stddev = math.Sqrt(ss / float64(len(samples)-1))
+	}
+	return m
+}
+
+// Percentile interpolates the q-th quantile (0..1) of an ascending
+// sorted slice.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RunSuite executes each spec Repeats times and assembles the report.
+// progress, when non-nil, receives one line per benchmark as it starts
+// and finishes. A spec whose Setup or Run fails aborts the whole suite:
+// a partial report would silently narrow regression coverage.
+func RunSuite(ctx context.Context, specs []Spec, s Settings, progress func(string)) (*Report, error) {
+	if s.Insts <= 0 || s.Repeats <= 0 {
+		return nil, fmt.Errorf("benchmark: settings need positive insts and repeats (got %+v)", s)
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	rep := &Report{
+		Schema:    SchemaVersion,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Settings:  s,
+	}
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		say("%s: %d repetitions...", spec.Name, s.Repeats)
+		samples, err := runSpec(ctx, spec, s)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark %s: %w", spec.Name, err)
+		}
+		m := Summarize(spec.Name, spec.Unit, spec.Better, samples)
+		say("%s: mean %.3f %s (stddev %.3f, min %.3f, p95 %.3f)",
+			m.Name, m.Mean, m.Unit, m.Stddev, m.Min, m.P95)
+		rep.Metrics = append(rep.Metrics, m)
+	}
+	return rep, nil
+}
+
+func runSpec(ctx context.Context, spec Spec, s Settings) ([]float64, error) {
+	if spec.Setup != nil {
+		teardown, err := spec.Setup(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+		if teardown != nil {
+			defer teardown()
+		}
+	}
+	samples := make([]float64, 0, s.Repeats)
+	for i := 0; i < s.Repeats; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := spec.Run(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", i+1, err)
+		}
+		samples = append(samples, v)
+	}
+	return samples, nil
+}
+
+// Filter returns the specs whose names match the regular expression.
+func Filter(specs []Spec, pattern string) ([]Spec, error) {
+	if pattern == "" {
+		return specs, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: bad -run pattern: %w", err)
+	}
+	var out []Spec
+	for _, s := range specs {
+		if re.MatchString(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport loads and schema-checks a report.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, this binary speaks %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// NextReportPath returns the first unused BENCH_<n>.json in dir,
+// continuing the recorded trajectory (BENCH_1.json, BENCH_2.json, ...).
+func NextReportPath(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}

@@ -1,0 +1,182 @@
+package benchmark
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func approx(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := Summarize("wall", "ms", Lower, []float64{4, 1, 3, 2})
+	if m.N != 4 {
+		t.Fatalf("N = %d, want 4", m.N)
+	}
+	approx(t, "mean", m.Mean, 2.5)
+	approx(t, "min", m.Min, 1)
+	approx(t, "p50", m.P50, 2.5)
+	// p95 of [1,2,3,4]: pos 2.85 -> 3*(0.15) + 4*(0.85)
+	approx(t, "p95", m.P95, 3.85)
+	// sample stddev of 1..4
+	approx(t, "stddev", m.Stddev, math.Sqrt(5.0/3.0))
+	if m.Better != string(Lower) {
+		t.Errorf("better = %q", m.Better)
+	}
+
+	empty := Summarize("none", "ms", Lower, nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	one := Summarize("one", "ms", Lower, []float64{7})
+	if one.Stddev != 0 || one.Mean != 7 || one.P95 != 7 {
+		t.Errorf("single-sample summary = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	approx(t, "p0", Percentile(sorted, 0), 10)
+	approx(t, "p100", Percentile(sorted, 1), 50)
+	approx(t, "p50", Percentile(sorted, 0.5), 30)
+	approx(t, "p25", Percentile(sorted, 0.25), 20)
+	// pos 3.6 -> between 40 and 50
+	approx(t, "p90", Percentile(sorted, 0.9), 46)
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestReportRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	rep := &Report{
+		Schema:   SchemaVersion,
+		Settings: DefaultSettings(),
+		Metrics: []Metric{
+			Summarize("a", "ms", Lower, []float64{1, 2, 3}),
+		},
+	}
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Metric("a")
+	if m == nil {
+		t.Fatal("metric a missing after roundtrip")
+	}
+	approx(t, "mean", m.Mean, 2)
+	if got.Metric("missing") != nil {
+		t.Error("lookup of absent metric returned non-nil")
+	}
+
+	// A future schema must be refused, not misread.
+	rep.Schema = SchemaVersion + 1
+	bad := filepath.Join(dir, "future.json")
+	if err := WriteReport(bad, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(bad); err == nil {
+		t.Error("future schema_version accepted")
+	}
+}
+
+func TestNextReportPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextReportPath(dir)
+	if err != nil || filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("empty dir -> %q, %v", p, err)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = NextReportPath(dir)
+	if err != nil || filepath.Base(p) != "BENCH_4.json" {
+		t.Fatalf("sequenced dir -> %q, %v", p, err)
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	setupCalls, teardownCalls := 0, 0
+	specs := []Spec{
+		{
+			Name: "constant", Unit: "ms", Better: Lower,
+			Setup: func(ctx context.Context, s Settings) (func(), error) {
+				setupCalls++
+				return func() { teardownCalls++ }, nil
+			},
+			Run: func(ctx context.Context, s Settings) (float64, error) { return 5, nil },
+		},
+		{
+			Name: "counting", Unit: "ops", Better: Higher,
+			Run: func(ctx context.Context, s Settings) (float64, error) { return float64(s.Insts), nil },
+		},
+	}
+	var lines []string
+	rep, err := RunSuite(context.Background(), specs, Settings{Insts: 100, Repeats: 3}, func(l string) {
+		lines = append(lines, l)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setupCalls != 1 || teardownCalls != 1 {
+		t.Errorf("setup/teardown ran %d/%d times, want 1/1", setupCalls, teardownCalls)
+	}
+	if rep.Schema != SchemaVersion || len(rep.Metrics) != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if m := rep.Metric("constant"); m == nil || m.N != 3 || m.Mean != 5 {
+		t.Errorf("constant metric %+v", m)
+	}
+	if m := rep.Metric("counting"); m == nil || m.Mean != 100 {
+		t.Errorf("counting metric %+v", m)
+	}
+	if len(lines) == 0 {
+		t.Error("no progress lines emitted")
+	}
+
+	// A failing spec aborts the suite rather than narrowing coverage.
+	boom := errors.New("boom")
+	specs[1].Run = func(ctx context.Context, s Settings) (float64, error) { return 0, boom }
+	if _, err := RunSuite(context.Background(), specs, Settings{Insts: 100, Repeats: 2}, nil); !errors.Is(err, boom) {
+		t.Errorf("failing spec: err = %v, want wrapped boom", err)
+	}
+
+	if _, err := RunSuite(context.Background(), specs, Settings{}, nil); err == nil {
+		t.Error("zero settings accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuite(ctx, specs[:1], Settings{Insts: 1, Repeats: 1}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v", err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	specs := []Spec{{Name: "sim_wall_ms/gzip"}, {Name: "engine_uops_per_sec"}, {Name: "sim_wall_ms/photo"}}
+	got, err := Filter(specs, "sim_wall")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("filter -> %d specs, %v", len(got), err)
+	}
+	all, err := Filter(specs, "")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("empty pattern -> %d specs, %v", len(all), err)
+	}
+	if _, err := Filter(specs, "("); err == nil {
+		t.Error("bad regexp accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package benchmark
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Delta is one metric's old-vs-new comparison. Worse is the
+// direction-adjusted relative change: positive means the metric moved
+// the wrong way (slower for Lower metrics, less throughput for Higher),
+// so a Worse of 0.20 reads "20% worse" regardless of direction.
+type Delta struct {
+	Name    string  `json:"name"`
+	Unit    string  `json:"unit"`
+	Better  string  `json:"better"`
+	OldMean float64 `json:"old_mean"`
+	NewMean float64 `json:"new_mean"`
+	Worse   float64 `json:"worse"`
+
+	// Regression: worse beyond the threshold AND beyond the noise gate.
+	// Improvement: the same test in the other direction.
+	Regression  bool `json:"regression"`
+	Improvement bool `json:"improvement"`
+}
+
+// Comparison is the full old-vs-new verdict.
+type Comparison struct {
+	Threshold float64  `json:"threshold"`
+	Deltas    []Delta  `json:"deltas"`
+	OnlyOld   []string `json:"only_old,omitempty"`
+	OnlyNew   []string `json:"only_new,omitempty"`
+}
+
+// Regressions counts metrics flagged as regressed.
+func (c *Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare diffs two reports metric by metric. threshold is the relative
+// worsening (0.25 = 25%) above which a metric regresses; on top of it a
+// noise gate requires the means to differ by more than twice the
+// combined standard error, so a jittery benchmark whose mean wobbles
+// within its own spread never flags. Metrics present in only one report
+// are listed informationally, never flagged — renames should not fail
+// CI retroactively.
+func Compare(old, new *Report, threshold float64) *Comparison {
+	c := &Comparison{Threshold: threshold}
+	for _, om := range old.Metrics {
+		nm := new.Metric(om.Name)
+		if nm == nil {
+			c.OnlyOld = append(c.OnlyOld, om.Name)
+			continue
+		}
+		c.Deltas = append(c.Deltas, diff(om, *nm, threshold))
+	}
+	for _, nm := range new.Metrics {
+		if old.Metric(nm.Name) == nil {
+			c.OnlyNew = append(c.OnlyNew, nm.Name)
+		}
+	}
+	return c
+}
+
+func diff(om, nm Metric, threshold float64) Delta {
+	d := Delta{
+		Name:    om.Name,
+		Unit:    om.Unit,
+		Better:  om.Better,
+		OldMean: om.Mean,
+		NewMean: nm.Mean,
+	}
+	if om.Mean == 0 {
+		return d // nothing meaningful to ratio against
+	}
+	rel := (nm.Mean - om.Mean) / om.Mean
+	if Direction(om.Better) == Higher {
+		rel = -rel
+	}
+	d.Worse = rel
+	if math.Abs(rel) <= threshold || !beyondNoise(om, nm) {
+		return d
+	}
+	if rel > 0 {
+		d.Regression = true
+	} else {
+		d.Improvement = true
+	}
+	return d
+}
+
+// beyondNoise reports whether the two means differ by more than twice
+// the combined standard error of the mean. Reports with a single repeat
+// carry no spread information and always pass the gate.
+func beyondNoise(om, nm Metric) bool {
+	se := 0.0
+	if om.N > 1 {
+		se += om.Stddev * om.Stddev / float64(om.N)
+	}
+	if nm.N > 1 {
+		se += nm.Stddev * nm.Stddev / float64(nm.N)
+	}
+	if se == 0 {
+		return true
+	}
+	return math.Abs(nm.Mean-om.Mean) > 2*math.Sqrt(se)
+}
+
+// WriteText renders the comparison as an aligned human-readable table.
+func (c *Comparison) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %14s %9s  %s\n", "metric", "old", "new", "change", "verdict")
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		switch {
+		case d.Regression:
+			verdict = "REGRESSION"
+		case d.Improvement:
+			verdict = "improvement"
+		}
+		fmt.Fprintf(w, "%-28s %14.3f %14.3f %+8.1f%%  %s\n",
+			d.Name, d.OldMean, d.NewMean, signedWorse(d), verdict)
+	}
+	for _, name := range c.OnlyOld {
+		fmt.Fprintf(w, "%-28s only in old report\n", name)
+	}
+	for _, name := range c.OnlyNew {
+		fmt.Fprintf(w, "%-28s only in new report\n", name)
+	}
+	if n := c.Regressions(); n > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) beyond the %.0f%% threshold\n", n, c.Threshold*100)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond the %.0f%% threshold\n", c.Threshold*100)
+	}
+}
+
+// signedWorse renders the raw relative change with its natural sign
+// (positive = value went up), which reads better in a table than the
+// direction-adjusted Worse.
+func signedWorse(d Delta) float64 {
+	if d.OldMean == 0 {
+		return 0
+	}
+	return (d.NewMean - d.OldMean) / d.OldMean * 100
+}

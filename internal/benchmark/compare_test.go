@@ -1,0 +1,144 @@
+package benchmark
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(metrics ...Metric) *Report {
+	return &Report{Schema: SchemaVersion, Metrics: metrics}
+}
+
+func steady(name string, better Direction, mean float64) Metric {
+	// Ten identical samples: zero stddev, so any mean shift clears the
+	// noise gate and the verdict depends on the threshold alone.
+	samples := make([]float64, 10)
+	for i := range samples {
+		samples[i] = mean
+	}
+	return Summarize(name, "ms", better, samples)
+}
+
+// TestCompareSelfIsClean is the acceptance criterion: comparing a
+// report against itself must report zero regressions.
+func TestCompareSelfIsClean(t *testing.T) {
+	rep := report(steady("wall", Lower, 100), steady("tput", Higher, 5000))
+	c := Compare(rep, rep, 0.25)
+	if n := c.Regressions(); n != 0 {
+		t.Fatalf("self-compare found %d regressions", n)
+	}
+	for _, d := range c.Deltas {
+		if d.Worse != 0 || d.Regression || d.Improvement {
+			t.Errorf("self-compare delta %+v", d)
+		}
+	}
+}
+
+// TestCompareFlagsSlowdown is the other acceptance criterion: a 2x
+// slowdown injected into one metric must flag exactly that metric.
+func TestCompareFlagsSlowdown(t *testing.T) {
+	old := report(steady("wall", Lower, 100), steady("tput", Higher, 5000))
+	new := report(steady("wall", Lower, 200), steady("tput", Higher, 5000))
+	c := Compare(old, new, 0.25)
+	if n := c.Regressions(); n != 1 {
+		t.Fatalf("found %d regressions, want 1", n)
+	}
+	d := c.Deltas[0]
+	if d.Name != "wall" || !d.Regression {
+		t.Fatalf("flagged delta %+v, want wall regression", d)
+	}
+	if d.Worse != 1.0 {
+		t.Errorf("worse = %v, want 1.0 (100%% slower)", d.Worse)
+	}
+}
+
+func TestCompareDirectionAware(t *testing.T) {
+	// Throughput halving is a regression; latency halving is an
+	// improvement. Same raw ratio, opposite verdicts.
+	old := report(steady("tput", Higher, 5000), steady("wall", Lower, 100))
+	new := report(steady("tput", Higher, 2500), steady("wall", Lower, 50))
+	c := Compare(old, new, 0.25)
+	if n := c.Regressions(); n != 1 {
+		t.Fatalf("found %d regressions, want 1 (tput)", n)
+	}
+	for _, d := range c.Deltas {
+		switch d.Name {
+		case "tput":
+			if !d.Regression {
+				t.Errorf("halved throughput not flagged: %+v", d)
+			}
+		case "wall":
+			if !d.Improvement || d.Regression {
+				t.Errorf("halved latency not an improvement: %+v", d)
+			}
+		}
+	}
+}
+
+func TestCompareNoiseGate(t *testing.T) {
+	// Means 30% apart, but both reports are so jittery that the shift is
+	// within twice the combined standard error: threshold exceeded, noise
+	// gate not, so no flag.
+	old := report(Summarize("wall", "ms", Lower, []float64{50, 100, 150}))
+	new := report(Summarize("wall", "ms", Lower, []float64{65, 130, 195}))
+	c := Compare(old, new, 0.25)
+	if n := c.Regressions(); n != 0 {
+		t.Fatalf("noisy 30%% shift flagged as regression")
+	}
+	if c.Deltas[0].Worse <= 0.25 {
+		t.Fatalf("test premise broken: worse = %v should exceed threshold", c.Deltas[0].Worse)
+	}
+
+	// Single-repeat reports carry no spread information and must still
+	// flag — otherwise quick mode could never fail.
+	old = report(Summarize("wall", "ms", Lower, []float64{100}))
+	new = report(Summarize("wall", "ms", Lower, []float64{200}))
+	if n := Compare(old, new, 0.25).Regressions(); n != 1 {
+		t.Errorf("single-repeat 2x slowdown found %d regressions, want 1", n)
+	}
+}
+
+func TestCompareDisjointMetrics(t *testing.T) {
+	old := report(steady("gone", Lower, 1), steady("kept", Lower, 1))
+	new := report(steady("kept", Lower, 1), steady("added", Lower, 1))
+	c := Compare(old, new, 0.25)
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "gone" {
+		t.Errorf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "added" {
+		t.Errorf("OnlyNew = %v", c.OnlyNew)
+	}
+	if c.Regressions() != 0 {
+		t.Error("renamed metrics counted as regressions")
+	}
+
+	var sb strings.Builder
+	c.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"only in old report", "only in new report", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareZeroOldMean(t *testing.T) {
+	old := report(Summarize("wall", "ms", Lower, []float64{0, 0}))
+	new := report(Summarize("wall", "ms", Lower, []float64{10, 10}))
+	c := Compare(old, new, 0.25)
+	if c.Regressions() != 0 {
+		t.Error("zero old mean produced a regression verdict")
+	}
+}
+
+func TestWriteTextVerdicts(t *testing.T) {
+	old := report(steady("wall", Lower, 100))
+	new := report(steady("wall", Lower, 300))
+	c := Compare(old, new, 0.25)
+	var sb strings.Builder
+	c.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "1 regression(s)") {
+		t.Errorf("WriteText output:\n%s", out)
+	}
+}

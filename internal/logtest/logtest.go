@@ -1,0 +1,111 @@
+// Package logtest provides a capturing slog.Handler for tests: records
+// are kept in memory with their attributes flattened into a map, so a
+// test can assert "every log line from this request carried job_id X"
+// without parsing rendered text.
+package logtest
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// Record is one captured log call.
+type Record struct {
+	Level   slog.Level
+	Message string
+	Attrs   map[string]any
+}
+
+// Has reports whether the record carries the attribute with that value
+// (compared via ==; values are what slog resolved them to).
+func (r Record) Has(key string, value any) bool {
+	v, ok := r.Attrs[key]
+	return ok && v == value
+}
+
+// store is the record sink shared by a handler and every WithAttrs /
+// WithGroup clone derived from it.
+type store struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Handler is a slog.Handler test double, safe for concurrent logging.
+// Use NewHandler; clones made by WithAttrs/WithGroup feed the same
+// record list.
+type Handler struct {
+	st    *store
+	attrs []slog.Attr
+	group string
+}
+
+// NewHandler returns an empty capturing handler.
+func NewHandler() *Handler {
+	return &Handler{st: &store{}}
+}
+
+// Enabled captures everything down to Debug.
+func (h *Handler) Enabled(context.Context, slog.Level) bool { return true }
+
+// Handle records the entry.
+func (h *Handler) Handle(_ context.Context, r slog.Record) error {
+	rec := Record{Level: r.Level, Message: r.Message, Attrs: map[string]any{}}
+	for _, a := range h.attrs {
+		h.addAttr(rec.Attrs, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		h.addAttr(rec.Attrs, a)
+		return true
+	})
+	h.st.mu.Lock()
+	h.st.recs = append(h.st.recs, rec)
+	h.st.mu.Unlock()
+	return nil
+}
+
+func (h *Handler) addAttr(into map[string]any, a slog.Attr) {
+	key := a.Key
+	if h.group != "" {
+		key = h.group + "." + key
+	}
+	into[key] = a.Value.Resolve().Any()
+}
+
+// WithAttrs returns a clone that stamps the attributes on every record;
+// captures still land in the parent's shared record list.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	clone := *h
+	clone.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &clone
+}
+
+// WithGroup returns a clone that prefixes attribute keys with
+// "name." (nested groups chain).
+func (h *Handler) WithGroup(name string) slog.Handler {
+	clone := *h
+	if clone.group != "" {
+		clone.group += "." + name
+	} else {
+		clone.group = name
+	}
+	return &clone
+}
+
+// Records returns a snapshot of everything captured so far.
+func (h *Handler) Records() []Record {
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	return append([]Record(nil), h.st.recs...)
+}
+
+// ByMessage returns the captured records with that message.
+func (h *Handler) ByMessage(msg string) []Record {
+	var out []Record
+	for _, r := range h.Records() {
+		if r.Message == msg {
+			out = append(out, r)
+		}
+	}
+	return out
+}

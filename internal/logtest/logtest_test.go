@@ -1,0 +1,74 @@
+package logtest
+
+import (
+	"log/slog"
+	"sync"
+	"testing"
+)
+
+func TestCapture(t *testing.T) {
+	h := NewHandler()
+	log := slog.New(h)
+	log.Info("hello", "a", 1, "b", "two")
+	log.Warn("trouble", "err", "nope")
+
+	recs := h.Records()
+	if len(recs) != 2 {
+		t.Fatalf("captured %d records, want 2", len(recs))
+	}
+	if recs[0].Message != "hello" || recs[0].Level != slog.LevelInfo {
+		t.Errorf("first record %+v", recs[0])
+	}
+	if !recs[0].Has("a", int64(1)) || !recs[0].Has("b", "two") {
+		t.Errorf("first record attrs %v", recs[0].Attrs)
+	}
+	if got := h.ByMessage("trouble"); len(got) != 1 || got[0].Level != slog.LevelWarn {
+		t.Errorf("ByMessage(trouble) = %+v", got)
+	}
+	if len(h.ByMessage("absent")) != 0 {
+		t.Error("ByMessage matched a message never logged")
+	}
+}
+
+func TestWithAttrsAndGroupShareStore(t *testing.T) {
+	h := NewHandler()
+	base := slog.New(h)
+	scoped := base.With("job_id", "job-7")
+	grouped := base.WithGroup("http")
+
+	scoped.Info("scoped line", "extra", true)
+	grouped.Info("grouped line", "status", 200)
+	base.Info("plain line")
+
+	if n := len(h.Records()); n != 3 {
+		t.Fatalf("clones captured into %d records, want 3 in the shared store", n)
+	}
+	sc := h.ByMessage("scoped line")[0]
+	if !sc.Has("job_id", "job-7") || !sc.Has("extra", true) {
+		t.Errorf("scoped attrs %v", sc.Attrs)
+	}
+	gr := h.ByMessage("grouped line")[0]
+	if !gr.Has("http.status", int64(200)) {
+		t.Errorf("group prefix missing: %v", gr.Attrs)
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	h := NewHandler()
+	log := slog.New(h).With("worker", "w")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				log.Info("tick")
+				_ = h.Records()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(h.Records()); n != 400 {
+		t.Fatalf("captured %d records, want 400", n)
+	}
+}

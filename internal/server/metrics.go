@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"net/http"
 	"sync/atomic"
 
@@ -19,6 +20,29 @@ type serviceMetrics struct {
 	jobsFailed   atomic.Uint64
 	jobsCanceled atomic.Uint64
 	busyWorkers  atomic.Int64
+	// execEWMA holds the float64 bits of an exponentially weighted
+	// moving average of successful job execution seconds; the queue-full
+	// Retry-After hint is derived from it.
+	execEWMA atomic.Uint64
+}
+
+// observeExec folds one completed execution into the moving average.
+// Races between concurrent workers can drop an update; the EWMA is a
+// load hint, not an accounting counter, so that is acceptable.
+func (m *serviceMetrics) observeExec(seconds float64) {
+	const alpha = 0.3
+	prev := math.Float64frombits(m.execEWMA.Load())
+	next := seconds
+	if prev > 0 {
+		next = alpha*seconds + (1-alpha)*prev
+	}
+	m.execEWMA.Store(math.Float64bits(next))
+}
+
+// avgExecSeconds returns the current execution-time estimate (0 before
+// any job completed).
+func (m *serviceMetrics) avgExecSeconds() float64 {
+	return math.Float64frombits(m.execEWMA.Load())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -75,4 +99,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, h := range s.hist.All() {
 		p.Histogram(h.Snapshot())
 	}
+
+	// Rolling SLO view: API request latency quantiles over the sliding
+	// window, exposed as a summary so dashboards read "p99 over the last
+	// five minutes" rather than a since-boot aggregate.
+	_, qv := s.slo.Quantiles(stats.DefaultSLOQuantiles...)
+	count, sum := s.slo.Sum()
+	qs := make([]stats.SummaryQuantile, len(qv))
+	for i, q := range stats.DefaultSLOQuantiles {
+		qs[i] = stats.SummaryQuantile{Q: q, V: qv[i]}
+	}
+	p.Summary("replayd_http_request_seconds",
+		"API (/v1/*) request latency over the sliding SLO window.",
+		qs, sum, count)
+	p.Gauge("replayd_job_exec_seconds_avg",
+		"Moving average of successful job execution time.",
+		s.met.avgExecSeconds())
+
+	// Go runtime health: heap, GC pauses, goroutines, scheduler latency.
+	p.Runtime("replayd", stats.ReadRuntime())
 }

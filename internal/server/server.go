@@ -13,11 +13,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +51,14 @@ type Config struct {
 	TraceEvents int
 	// Runner overrides the execution backend (tests). Default SimRunner.
 	Runner Runner
+	// Logger receives the daemon's structured log records: every job
+	// lifecycle line carries the job ID and coalescing key, so a job can
+	// be followed across submission, queueing, execution, and outcome.
+	// Default: discard.
+	Logger *slog.Logger
+	// SLOWindow is the sliding window the request-latency quantiles on
+	// /metrics are computed over. Default 5m.
+	SLOWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +77,12 @@ func (c Config) withDefaults() Config {
 	if c.Runner == nil {
 		c.Runner = SimRunner
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 5 * time.Minute
+	}
 	return c
 }
 
@@ -73,6 +92,9 @@ type job struct {
 	id  string
 	key string
 	req api.RunRequest
+	// log is the job-scoped logger: every line carries the job ID and
+	// coalescing key, so one job's lifecycle greps out of mixed output.
+	log *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -99,6 +121,7 @@ type job struct {
 func (j *job) appendEvent(e api.Event) {
 	j.mu.Lock()
 	e.Seq = len(j.events)
+	e.JobID = j.id
 	j.events = append(j.events, e)
 	close(j.notify)
 	j.notify = make(chan struct{})
@@ -187,6 +210,10 @@ type Server struct {
 
 	mux *http.ServeMux
 	met serviceMetrics
+	log *slog.Logger
+	// slo tracks API request latency over a sliding window for the
+	// /metrics summary quantiles.
+	slo *stats.SLOWindow
 
 	// hist backs the /metrics histograms; tel is the process-wide
 	// histogram-only collector every untraced job runs under (histogram
@@ -210,6 +237,8 @@ func New(cfg Config) *Server {
 		queue:      make(chan *job, cfg.QueueDepth),
 		mux:        http.NewServeMux(),
 		hist:       telemetry.NewHistogramSet(),
+		log:        cfg.Logger,
+		slo:        stats.NewSLOWindow(cfg.SLOWindow, 0),
 	}
 	s.tel = telemetry.New(telemetry.Config{Hist: s.hist})
 	s.routes()
@@ -220,8 +249,64 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP surface, wrapped so every request
+// is timed into the sliding-window SLO quantiles and access-logged at
+// Debug (job lifecycle lines log at Info from the queue and workers).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			// Only the API surface feeds the SLO: /metrics scrapes and
+			// health probes would drown real request latencies.
+			s.slo.Observe(elapsed)
+		}
+		s.log.Debug("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.Status(),
+			"duration_ms", float64(elapsed)/float64(time.Millisecond))
+	})
+}
+
+// statusWriter captures the response status for the access log while
+// forwarding Flush so NDJSON streaming keeps working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the written status, defaulting to 200 for handlers
+// that never call WriteHeader explicitly.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -235,10 +320,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
-// errSubmit carries an HTTP status for submission failures.
+// errSubmit carries an HTTP status for submission failures, plus an
+// optional Retry-After hint (seconds) for load-shedding rejections.
 type errSubmit struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *errSubmit) Error() string { return e.msg }
@@ -249,15 +336,15 @@ func (e *errSubmit) Error() string { return e.msg }
 // callers must pair with releaseWaiter.
 func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 	if err := req.Validate(); err != nil {
-		return nil, false, &errSubmit{http.StatusBadRequest, err.Error()}
+		return nil, false, &errSubmit{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	c := req.Canonical()
 	if s.cfg.MaxInsts > 0 && c.Insts > s.cfg.MaxInsts {
-		return nil, false, &errSubmit{http.StatusBadRequest,
-			fmt.Sprintf("insts %d exceeds the server cap %d", c.Insts, s.cfg.MaxInsts)}
+		return nil, false, &errSubmit{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("insts %d exceeds the server cap %d", c.Insts, s.cfg.MaxInsts)}
 	}
 	if err := validateWorkloads(c); err != nil {
-		return nil, false, &errSubmit{http.StatusBadRequest, err.Error()}
+		return nil, false, &errSubmit{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	key := c.Key()
 
@@ -272,10 +359,11 @@ func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 		} else {
 			j.waiters++
 		}
+		j.log.Info("request coalesced onto in-flight job")
 		return j, true, nil
 	}
 	if s.draining {
-		return nil, false, &errSubmit{http.StatusServiceUnavailable, "server is draining"}
+		return nil, false, &errSubmit{status: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
 
 	s.nextID++
@@ -292,6 +380,7 @@ func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
 	}
+	j.log = s.log.With("job_id", j.id, "key", j.key)
 	if !detached {
 		j.waiters = 1
 	}
@@ -300,14 +389,49 @@ func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 	default:
 		jcancel()
 		s.met.rejected.Add(1)
-		return nil, false, &errSubmit{http.StatusServiceUnavailable,
-			fmt.Sprintf("job queue full (%d queued)", s.cfg.QueueDepth)}
+		retry := s.retryAfterLocked()
+		s.log.Warn("job queue full, rejecting request",
+			"key", key,
+			"experiment", c.Experiment,
+			"queue_depth", s.queuedJobs,
+			"queue_capacity", s.cfg.QueueDepth,
+			"retry_after_s", retry)
+		return nil, false, &errSubmit{
+			status:     http.StatusServiceUnavailable,
+			msg:        fmt.Sprintf("job queue full (%d queued)", s.cfg.QueueDepth),
+			retryAfter: retry,
+		}
 	}
 	s.jobs[j.id] = j
 	s.inflight[key] = j
 	s.queuedJobs++
+	j.log.Info("job accepted",
+		"experiment", c.Experiment,
+		"detached", detached,
+		"queue_depth", s.queuedJobs)
 	j.appendEvent(api.Event{State: api.StateQueued})
 	return j, false, nil
+}
+
+// retryAfterLocked estimates (under s.mu) how many seconds until queue
+// space plausibly frees: the queued backlog divided across the worker
+// pool, scaled by the recent average job execution time. Clamped to
+// [1, 300] so the header stays a sane hint even on a cold or badly
+// backed-up server.
+func (s *Server) retryAfterLocked() int {
+	avg := s.met.avgExecSeconds()
+	if avg <= 0 {
+		avg = 1
+	}
+	est := avg * float64(s.queuedJobs+1) / float64(s.cfg.Workers)
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }
 
 // releaseWaiter drops one waiting client; when the last one leaves a
@@ -346,6 +470,9 @@ func (s *Server) execute(j *job) {
 	}
 	s.met.busyWorkers.Add(1)
 	j.setState(api.StateRunning)
+	j.log.Info("job started",
+		"queue_wait_ms", float64(time.Since(j.queuedAt))/float64(time.Millisecond),
+		"trace", j.req.Trace)
 	// Every job runs under a collector so its frame-lifecycle histograms
 	// feed /metrics. Traced jobs get a private collector (ring buffer,
 	// labeled with the coalescing key, same histogram set); it stays on
@@ -372,6 +499,30 @@ func (s *Server) execute(j *job) {
 func (s *Server) settle(j *job, res *api.RunResponse, err error) {
 	j.finish(res, err)
 	j.cancel()
+
+	j.mu.Lock()
+	state := j.state
+	queueWait := j.startedAt.Sub(j.queuedAt)
+	var execDur time.Duration
+	if !j.startedAt.IsZero() {
+		execDur = j.doneAt.Sub(j.startedAt)
+	} else {
+		queueWait = j.doneAt.Sub(j.queuedAt)
+	}
+	j.mu.Unlock()
+	attrs := []any{
+		"outcome", state,
+		"queue_wait_ms", float64(queueWait) / float64(time.Millisecond),
+		"exec_ms", float64(execDur) / float64(time.Millisecond),
+	}
+	if err != nil {
+		j.log.Warn("job finished", append(attrs, "error", err.Error())...)
+	} else {
+		j.log.Info("job finished", attrs...)
+	}
+	if err == nil && execDur > 0 {
+		s.met.observeExec(execDur.Seconds())
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -435,6 +586,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	var se *errSubmit
 	if errors.As(err, &se) {
+		if se.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.retryAfter))
+		}
 		writeJSON(w, se.status, map[string]string{"error": se.msg})
 		return
 	}
@@ -446,7 +600,7 @@ func decodeRequest(r *http.Request) (api.RunRequest, error) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return req, &errSubmit{http.StatusBadRequest, "bad request body: " + err.Error()}
+		return req, &errSubmit{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()}
 	}
 	return req, nil
 }

@@ -2,7 +2,6 @@ package stats
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -17,26 +16,85 @@ type PromBucket struct {
 	Count float64
 }
 
+// PromQuantile is one quantile sample of a parsed summary.
+type PromQuantile struct {
+	Q float64
+	V float64
+}
+
 // PromFamily is one metric family parsed from the Prometheus text
 // format. For counters and gauges Value holds the sample; for
-// histograms Buckets/Sum/Count hold the decomposed samples.
+// histograms Buckets/Sum/Count hold the decomposed samples; for
+// summaries Quantiles/Sum/Count do.
 type PromFamily struct {
-	Name    string
-	Help    string
-	Type    string // "counter", "gauge", "histogram", or "" if untyped
-	Value   float64
-	Buckets []PromBucket
-	Sum     float64
-	Count   float64
+	Name      string
+	Help      string
+	Type      string // "counter", "gauge", "histogram", "summary", or "" if untyped
+	Value     float64
+	Buckets   []PromBucket
+	Quantiles []PromQuantile
+	Sum       float64
+	Count     float64
 }
 
 // ParseProm parses the subset of the Prometheus text exposition format
-// that Prom emits (unlabeled counters/gauges plus histograms whose only
-// label is le). It exists so replayctl can pretty-print a scraped
-// /metrics without pulling in a client library. Unknown or malformed
-// lines are skipped rather than fatal: a monitoring formatter should
-// degrade, not refuse.
+// that Prom emits: unlabeled counters/gauges, histograms whose only
+// label is le, and summaries whose only label is quantile. It exists so
+// replayctl can pretty-print a scraped /metrics without pulling in a
+// client library.
+//
+// The parser is deliberately tolerant — a monitoring formatter should
+// degrade, not refuse. In particular it does not require a HELP/TYPE
+// preamble: a bare `x_bucket{le="..."}` series is recognized as a
+// histogram (and `x{quantile="..."}` as a summary) from shape alone,
+// with _sum/_count lines attached to the family wherever they appear
+// relative to the buckets, and the +Inf bucket accepted in any
+// position. Unknown or malformed lines are skipped rather than fatal.
 func ParseProm(r io.Reader) ([]PromFamily, error) {
+	var lines []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: find histogram and summary base names, declared (TYPE) or
+	// inferred from sample shape, so routing below is independent of the
+	// order samples and preamble lines arrive in.
+	hist := map[string]bool{}
+	summ := map[string]bool{}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "histogram":
+					hist[fields[2]] = true
+				case "summary":
+					summ[fields[2]] = true
+				}
+			}
+			continue
+		}
+		name, labels, _, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		if base, found := strings.CutSuffix(name, "_bucket"); found {
+			if _, ok := labelValue(labels, "le"); ok {
+				hist[base] = true
+			}
+		} else if _, ok := labelValue(labels, "quantile"); ok {
+			summ[name] = true
+		}
+	}
+
+	// Pass 2: assemble families in first-reference order.
 	byName := map[string]*PromFamily{}
 	var order []string
 	family := func(name string) *PromFamily {
@@ -44,18 +102,17 @@ func ParseProm(r io.Reader) ([]PromFamily, error) {
 			return f
 		}
 		f := &PromFamily{Name: name}
+		switch {
+		case hist[name]:
+			f.Type = "histogram"
+		case summ[name]:
+			f.Type = "summary"
+		}
 		byName[name] = f
 		order = append(order, name)
 		return f
 	}
-
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
+	for _, line := range lines {
 		if strings.HasPrefix(line, "#") {
 			fields := strings.SplitN(line, " ", 4)
 			if len(fields) < 3 {
@@ -70,7 +127,9 @@ func ParseProm(r io.Reader) ([]PromFamily, error) {
 				family(fields[2]).Help = text
 			case "TYPE":
 				if len(fields) == 4 {
-					family(fields[2]).Type = fields[3]
+					f := family(fields[2])
+					// Shape inference never overrides a declaration.
+					f.Type = fields[3]
 				}
 			}
 			continue
@@ -80,38 +139,41 @@ func ParseProm(r io.Reader) ([]PromFamily, error) {
 			continue
 		}
 		switch {
-		case strings.HasSuffix(name, "_bucket"):
-			base := strings.TrimSuffix(name, "_bucket")
-			f := family(base)
-			if f.Type == "histogram" {
-				le, err := parseLe(labels)
-				if err == nil {
-					f.Buckets = append(f.Buckets, PromBucket{Le: le, Count: value})
+		case strings.HasSuffix(name, "_bucket") && hist[strings.TrimSuffix(name, "_bucket")]:
+			f := family(strings.TrimSuffix(name, "_bucket"))
+			if le, ok := labelValue(labels, "le"); ok {
+				if v, err := parseBound(le); err == nil {
+					f.Buckets = append(f.Buckets, PromBucket{Le: v, Count: value})
 				}
-				continue
 			}
-			family(name).Value = value
-		case strings.HasSuffix(name, "_sum") && byName[strings.TrimSuffix(name, "_sum")] != nil &&
-			byName[strings.TrimSuffix(name, "_sum")].Type == "histogram":
-			byName[strings.TrimSuffix(name, "_sum")].Sum = value
-		case strings.HasSuffix(name, "_count") && byName[strings.TrimSuffix(name, "_count")] != nil &&
-			byName[strings.TrimSuffix(name, "_count")].Type == "histogram":
-			byName[strings.TrimSuffix(name, "_count")].Count = value
+		case summ[name]:
+			f := family(name)
+			if qs, ok := labelValue(labels, "quantile"); ok {
+				if q, err := strconv.ParseFloat(qs, 64); err == nil {
+					f.Quantiles = append(f.Quantiles, PromQuantile{Q: q, V: value})
+				}
+			}
+		case strings.HasSuffix(name, "_sum") && isDecomposed(hist, summ, strings.TrimSuffix(name, "_sum")):
+			family(strings.TrimSuffix(name, "_sum")).Sum = value
+		case strings.HasSuffix(name, "_count") && isDecomposed(hist, summ, strings.TrimSuffix(name, "_count")):
+			family(strings.TrimSuffix(name, "_count")).Count = value
 		default:
 			family(name).Value = value
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 
 	out := make([]PromFamily, 0, len(order))
 	for _, name := range order {
 		f := byName[name]
 		sort.Slice(f.Buckets, func(i, j int) bool { return f.Buckets[i].Le < f.Buckets[j].Le })
+		sort.Slice(f.Quantiles, func(i, j int) bool { return f.Quantiles[i].Q < f.Quantiles[j].Q })
 		out = append(out, *f)
 	}
 	return out, nil
+}
+
+func isDecomposed(hist, summ map[string]bool, base string) bool {
+	return hist[base] || summ[base]
 }
 
 // parseSample splits "name{labels} value" or "name value". A trailing
@@ -142,19 +204,27 @@ func parseSample(line string) (name, labels string, value float64, ok bool) {
 	return name, labels, v, true
 }
 
-func parseLe(labels string) (float64, error) {
+// labelValue extracts one label's (unquoted) value from a label body.
+func labelValue(labels, key string) (string, bool) {
 	for _, part := range strings.Split(labels, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok || k != "le" {
-			continue
+		if ok && k == key {
+			return strings.Trim(v, `"`), true
 		}
-		v = strings.Trim(v, `"`)
-		if v == "+Inf" {
-			return math.Inf(1), nil
-		}
-		return strconv.ParseFloat(v, 64)
 	}
-	return 0, fmt.Errorf("no le label in %q", labels)
+	return "", false
+}
+
+// parseBound parses a bucket bound, accepting the exposition's "+Inf"
+// (and "-Inf") spellings.
+func parseBound(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
 }
 
 func unescapeHelp(s string) string {

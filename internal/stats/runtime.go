@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+)
+
+// RuntimeSnapshot is a point-in-time read of the Go runtime's own
+// health gauges, the subset replayd exports: memory pressure, GC pause
+// behavior, and scheduler load. Quantiles come from the runtime's
+// native histograms (/gc/pauses and /sched/latencies).
+type RuntimeSnapshot struct {
+	HeapObjectsBytes float64 // live heap occupied by objects
+	TotalBytes       float64 // all memory mapped by the runtime
+	Goroutines       float64
+	GCCycles         float64
+	GCPauseP50       float64 // seconds
+	GCPauseP99       float64 // seconds
+	SchedLatencyP50  float64 // seconds goroutines waited to run
+	SchedLatencyP99  float64 // seconds
+}
+
+// runtimeSamples are the runtime/metrics names ReadRuntime samples.
+var runtimeSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntime samples the runtime. Metrics a future runtime stops
+// publishing read as zero rather than failing: monitoring degrades, it
+// doesn't refuse.
+func ReadRuntime() RuntimeSnapshot {
+	samples := make([]runtimemetrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	runtimemetrics.Read(samples)
+
+	var s RuntimeSnapshot
+	num := func(i int) float64 {
+		switch samples[i].Value.Kind() {
+		case runtimemetrics.KindUint64:
+			return float64(samples[i].Value.Uint64())
+		case runtimemetrics.KindFloat64:
+			return samples[i].Value.Float64()
+		}
+		return 0
+	}
+	s.HeapObjectsBytes = num(0)
+	s.TotalBytes = num(1)
+	s.Goroutines = num(2)
+	s.GCCycles = num(3)
+	if samples[4].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		h := samples[4].Value.Float64Histogram()
+		s.GCPauseP50 = histogramQuantile(h, 0.50)
+		s.GCPauseP99 = histogramQuantile(h, 0.99)
+	}
+	if samples[5].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		h := samples[5].Value.Float64Histogram()
+		s.SchedLatencyP50 = histogramQuantile(h, 0.50)
+		s.SchedLatencyP99 = histogramQuantile(h, 0.99)
+	}
+	return s
+}
+
+// histogramQuantile approximates the q-th quantile of a runtime
+// bucketed histogram by the upper bound of the bucket where the
+// cumulative count crosses q. Infinite bounds fall back to the nearest
+// finite edge.
+func histogramQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			// Counts[i] covers Buckets[i] .. Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if !math.IsInf(hi, 0) {
+				return hi
+			}
+			lo := h.Buckets[i]
+			if !math.IsInf(lo, 0) {
+				return lo
+			}
+			return 0
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// Runtime emits the snapshot as prefixed gauges in exposition order.
+func (p *Prom) Runtime(prefix string, s RuntimeSnapshot) {
+	p.Gauge(prefix+"_go_heap_objects_bytes", "Bytes of live heap occupied by objects.", s.HeapObjectsBytes)
+	p.Gauge(prefix+"_go_memory_total_bytes", "All memory mapped by the Go runtime.", s.TotalBytes)
+	p.Gauge(prefix+"_go_goroutines", "Live goroutines.", s.Goroutines)
+	p.Gauge(prefix+"_go_gc_cycles_total", "Completed GC cycles.", s.GCCycles)
+	p.Gauge(prefix+"_go_gc_pause_seconds_p50", "Median stop-the-world GC pause.", s.GCPauseP50)
+	p.Gauge(prefix+"_go_gc_pause_seconds_p99", "99th percentile stop-the-world GC pause.", s.GCPauseP99)
+	p.Gauge(prefix+"_go_sched_latency_seconds_p50", "Median time goroutines waited runnable before running.", s.SchedLatencyP50)
+	p.Gauge(prefix+"_go_sched_latency_seconds_p99", "99th percentile goroutine scheduling latency.", s.SchedLatencyP99)
+}

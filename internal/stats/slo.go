@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOWindow tracks request latencies over a sliding time window so
+// /metrics can expose "p99 over the last five minutes" instead of
+// since-process-start aggregates that go stale after the first traffic
+// burst. Samples are kept in a bounded ring; when the ring fills, the
+// oldest samples fall off early — under overload the window then spans
+// less time but stays recent, which is the right bias for an SLO view.
+type SLOWindow struct {
+	mu     sync.Mutex
+	window time.Duration
+	now    func() time.Time // test hook
+
+	at   []time.Time // ring of sample times
+	val  []float64   // ring of sample values (seconds)
+	head int         // next write position
+	n    int         // live samples
+}
+
+// DefaultSLOQuantiles are the quantiles replayd exposes.
+var DefaultSLOQuantiles = []float64{0.5, 0.9, 0.99}
+
+// NewSLOWindow returns a window covering the given duration with at
+// most capacity samples. Non-positive arguments fall back to 5 minutes
+// and 4096 samples.
+func NewSLOWindow(window time.Duration, capacity int) *SLOWindow {
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &SLOWindow{
+		window: window,
+		now:    time.Now,
+		at:     make([]time.Time, capacity),
+		val:    make([]float64, capacity),
+	}
+}
+
+// Observe records one latency sample.
+func (w *SLOWindow) Observe(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.at[w.head] = w.now()
+	w.val[w.head] = d.Seconds()
+	w.head = (w.head + 1) % len(w.at)
+	if w.n < len(w.at) {
+		w.n++
+	}
+}
+
+// Quantiles returns the number of samples inside the window and the
+// requested quantiles (seconds) over them, in order. With no samples in
+// the window the quantiles are all zero.
+func (w *SLOWindow) Quantiles(qs ...float64) (int, []float64) {
+	w.mu.Lock()
+	cutoff := w.now().Add(-w.window)
+	live := make([]float64, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		idx := (w.head - 1 - i + 2*len(w.at)) % len(w.at)
+		if w.at[idx].Before(cutoff) {
+			// Ring entries are in insertion order walking backwards from
+			// head, so the first stale sample ends the live region.
+			break
+		}
+		live = append(live, w.val[idx])
+	}
+	w.mu.Unlock()
+
+	out := make([]float64, len(qs))
+	if len(live) == 0 {
+		return 0, out
+	}
+	sort.Float64s(live)
+	for i, q := range qs {
+		out[i] = quantileSorted(live, q)
+	}
+	return len(live), out
+}
+
+// Sum returns the count and total seconds of the in-window samples (the
+// summary exposition's _count and _sum).
+func (w *SLOWindow) Sum() (int, float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cutoff := w.now().Add(-w.window)
+	n, sum := 0, 0.0
+	for i := 0; i < w.n; i++ {
+		idx := (w.head - 1 - i + 2*len(w.at)) % len(w.at)
+		if w.at[idx].Before(cutoff) {
+			break
+		}
+		n++
+		sum += w.val[idx]
+	}
+	return n, sum
+}
+
+// quantileSorted interpolates the q-th quantile of ascending values.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

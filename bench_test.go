@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -379,6 +381,59 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		})
 		tel.SetEnabled(false)
 		run(b, tel)
+	})
+}
+
+// BenchmarkTracingOverhead pins the cost of the span-tracing
+// instrumentation in sim and pipeline (internal/tracing), mirroring
+// BenchmarkTelemetryOverhead's shape. The instrumentation is always
+// compiled in, so the variants differ only in what the context carries:
+//
+//   - off: plain context — every tracing.Start site does one context
+//     lookup, misses, and propagates a nil span whose methods no-op.
+//   - disabled: the context passed through a gated-off Tracer's
+//     StartRoot, which refuses the root — the path a request takes when
+//     tracing is administratively off. Must be indistinguishable from
+//     "off": the <2% acceptance bar is between these two.
+//   - traced: a live root span from an enabled tracer, full span
+//     assembly and tail-sampler offer (which drops the trace), for
+//     reference on what enabling costs.
+func BenchmarkTracingOverhead(b *testing.B) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		for i := 0; i < b.N; i++ {
+			o := sim.Options{MaxInsts: 30_000, DisableCache: true}
+			if _, err := sim.RunWorkload(ctx, p, pipeline.ModeRePLayOpt, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, context.Background()) })
+	b.Run("disabled", func(b *testing.B) {
+		tr := tracing.NewTracer(nil)
+		tr.SetEnabled(false)
+		ctx, span := tr.StartRoot(context.Background(), "bench", nil)
+		span.End()
+		run(b, ctx)
+	})
+	b.Run("traced", func(b *testing.B) {
+		store := tracing.NewStore(tracing.StoreConfig{
+			Capacity:      4,
+			SlowThreshold: time.Hour,
+			SampleRate:    -1, // sampler drops every healthy trace: steady-state memory
+		})
+		tr := tracing.NewTracer(store)
+		for i := 0; i < b.N; i++ {
+			ctx, span := tr.StartRoot(context.Background(), "bench", nil)
+			o := sim.Options{MaxInsts: 30_000, DisableCache: true}
+			if _, err := sim.RunWorkload(ctx, p, pipeline.ModeRePLayOpt, o); err != nil {
+				b.Fatal(err)
+			}
+			span.End()
+		}
 	})
 }
 

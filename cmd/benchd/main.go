@@ -15,17 +15,24 @@
 //
 // Without -out, the report continues the BENCH_<n>.json sequence in the
 // current directory (BENCH_1.json, BENCH_2.json, ...).
+//
+// -log-format/-log-level control structured diagnostics on stderr; the
+// default level is warn so a clean run prints only progress lines and
+// the report path. The embedded replayd benchmark logs through the same
+// logger, so -log-level debug exposes its per-job lifecycle lines.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/benchmark"
+	"repro/internal/logflag"
 )
 
 func main() {
@@ -37,7 +44,15 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two reports: benchd -compare OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 0.25, "relative worsening that counts as a regression in -compare")
 	list := flag.Bool("list", false, "list the suite's benchmarks and exit")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "warn", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger, err := logflag.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -53,7 +68,7 @@ func main() {
 		}
 		return
 	}
-	specs, err := benchmark.Filter(specs, *run)
+	specs, err = benchmark.Filter(specs, *run)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,6 +86,7 @@ func main() {
 	if *insts > 0 {
 		settings.Insts = *insts
 	}
+	settings.Logger = logger
 
 	path := *out
 	if path == "" {

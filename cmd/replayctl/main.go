@@ -6,12 +6,24 @@
 // Usage:
 //
 //	replayctl -experiment fig6 [-workloads a,b] [-insts N] [-mode RPO]
-//	          [-n 8] [-async] [-json] [-trace out.json]
+//	          [-n 8] [-async] [-json] [-job-trace out.json]
 //	replayctl -watch job-000001
 //	replayctl -metrics [-raw]
+//	replayctl -traces
+//	replayctl -trace 0af7651916cd43dd8448eb211c80319c
+//
+// Every request carries a fresh W3C traceparent header, so the daemon's
+// span trace continues from a client root; the job line prints the
+// trace ID, and -trace <id> fetches that span trace back from
+// /debug/traces/{id} as a flame-style text view (-json for the raw
+// spans). -traces lists what the daemon's tail sampler kept.
 //
 // -metrics renders the daemon's Prometheus exposition as tables and
-// per-bucket histogram bars; -raw prints the exposition verbatim.
+// per-bucket histogram bars, with OpenMetrics exemplars (the trace IDs
+// sampled into histogram buckets) listed under each histogram; -raw
+// prints the exposition verbatim. -job-trace saves a frame-lifecycle
+// Chrome trace_event file — the micro-op-level view, distinct from the
+// request-level span traces.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/stats"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -47,7 +60,9 @@ func main() {
 	watch := flag.String("watch", "", "stream progress events of a job ID and exit")
 	metrics := flag.Bool("metrics", false, "pretty-print the daemon's /metrics and exit")
 	raw := flag.Bool("raw", false, "with -metrics, print the Prometheus exposition verbatim instead of tables")
-	traceOut := flag.String("trace", "", "request a frame-lifecycle trace and save the Chrome trace_event JSON to this file")
+	traceOut := flag.String("job-trace", "", "request a frame-lifecycle trace and save the Chrome trace_event JSON to this file")
+	traceID := flag.String("trace", "", "fetch one span trace by ID from /debug/traces and print its flame view (-json for the raw spans)")
+	traces := flag.Bool("traces", false, "list the span traces kept by the daemon's tail sampler and exit")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
 	flag.Parse()
 
@@ -55,6 +70,18 @@ func main() {
 	base := strings.TrimRight(*addr, "/")
 
 	switch {
+	case *traces:
+		if err := listTraces(client, base); err != nil {
+			fatal(err)
+		}
+	case *traceID != "":
+		format := "text"
+		if *jsonOut {
+			format = "json"
+		}
+		if err := get(client, base+"/debug/traces/"+*traceID+"?format="+format, os.Stdout); err != nil {
+			fatal(err)
+		}
 	case *metrics:
 		if *raw {
 			if err := get(client, base+"/metrics", os.Stdout); err != nil {
@@ -149,7 +176,55 @@ func printMetrics(r io.Reader, w io.Writer) error {
 			}
 			stats.Bar(w, "le="+label, counts[i], maxN, 40, "%.0f")
 		}
+		for _, b := range h.Buckets {
+			if b.Exemplar == nil || b.Exemplar.TraceID == "" {
+				continue
+			}
+			label := "+Inf"
+			if !math.IsInf(b.Le, 1) {
+				label = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", b.Le), "0"), ".")
+			}
+			fmt.Fprintf(w, "  exemplar le=%s: trace=%s value=%.4g\n",
+				label, b.Exemplar.TraceID, b.Exemplar.Value)
+		}
 	}
+	return nil
+}
+
+// listTraces renders /debug/traces — the span traces the daemon's tail
+// sampler kept — as a table, newest first.
+func listTraces(client *http.Client, base string) error {
+	var buf bytes.Buffer
+	if err := get(client, base+"/debug/traces", &buf); err != nil {
+		return err
+	}
+	var sums []struct {
+		TraceID  string        `json:"trace_id"`
+		Root     string        `json:"root"`
+		Start    time.Time     `json:"start"`
+		Duration time.Duration `json:"duration_ns"`
+		Spans    int           `json:"spans"`
+		Error    bool          `json:"error"`
+		Reason   string        `json:"reason"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &sums); err != nil {
+		return fmt.Errorf("decoding trace list: %w", err)
+	}
+	if len(sums) == 0 {
+		fmt.Println("no traces stored (evicted or sampled out)")
+		return nil
+	}
+	t := stats.NewTable("Trace", "Root", "Start", "Duration", "Spans", "Kept as")
+	for _, s := range sums {
+		kept := s.Reason
+		if s.Error {
+			kept += " (error)"
+		}
+		t.Row(s.TraceID, s.Root, s.Start.Format("15:04:05.000"),
+			s.Duration.Round(time.Microsecond).String(), s.Spans, kept)
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\nfetch one with: replayctl -trace <id>")
 	return nil
 }
 
@@ -172,13 +247,26 @@ func get(client *http.Client, url string, w io.Writer) error {
 	return err
 }
 
-// post sends the request to path and decodes the job it returns.
+// post sends the request to path with a fresh client traceparent (so
+// the daemon's span trace roots under a client span) and decodes the
+// job it returns.
 func post(client *http.Client, url string, req api.RunRequest) (api.Job, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return api.Job{}, err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return api.Job{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	tp := tracing.Traceparent{
+		Trace: tracing.NewTraceID(),
+		Span:  tracing.NewSpanID(),
+		Flags: tracing.FlagSampled,
+	}
+	hreq.Header.Set(tracing.TraceparentHeader, tp.String())
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return api.Job{}, err
 	}
@@ -275,7 +363,11 @@ func run(client *http.Client, base string, req api.RunRequest, n int, async, jso
 		fmt.Printf("%d requests -> %d distinct job(s), %d coalesced, wall %s\n",
 			n, len(ids), coalesced, wall.Round(time.Millisecond))
 	}
-	fmt.Printf("job %s  state=%s  key=%s\n", final.ID, final.State, final.Key)
+	fmt.Printf("job %s  state=%s  key=%s", final.ID, final.State, final.Key)
+	if final.TraceID != "" {
+		fmt.Printf("  trace=%s", final.TraceID)
+	}
+	fmt.Println()
 	if final.Error != "" {
 		fmt.Printf("error: %s\n", final.Error)
 	}

@@ -7,12 +7,20 @@
 //	replayd [-addr :8080] [-workers 2] [-queue 64] [-max-insts N]
 //	        [-memo-entries N] [-capture-entries N] [-capture-bytes N]
 //	        [-drain-timeout 30s] [-pprof addr] [-trace-events N]
+//	        [-trace-store N] [-trace-slow 1s] [-trace-sample 1.0]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //
 // Every job lifecycle line (accepted, coalesced, started, finished,
 // rejected) is structured and carries the job ID and coalescing key;
 // -log-format json emits machine-parseable records for log shippers,
 // -log-level debug adds a per-request HTTP access log.
+//
+// Every /v1/* request opens a span trace (continuing the client's W3C
+// traceparent header when one is sent) covering the queue wait, the
+// simulation, and each optimizer pass; completed traces pass a
+// tail-based sampler (errors and slow traces always kept, the rest
+// gated by -trace-sample) into a bounded store queryable at
+// /debug/traces. The -trace-* flags size the store.
 //
 // Endpoints:
 //
@@ -23,9 +31,12 @@
 //	GET  /v1/jobs/{id}/events NDJSON progress stream
 //	GET  /v1/workloads       the Table 1 workload set
 //	GET  /metrics            Prometheus text metrics (includes the
-//	                         frame-lifecycle histograms)
+//	                         frame-lifecycle histograms, with trace-ID
+//	                         exemplars on the latency histogram)
 //	GET  /debug/trace?job=ID Chrome trace_event JSON for a job
 //	                         submitted with "trace": true
+//	GET  /debug/traces       span traces kept by the tail sampler
+//	GET  /debug/traces/{id}  one trace (?format=json|chrome|text)
 //	GET  /healthz            liveness (503 while draining)
 //
 // -pprof serves net/http/pprof on its own listener (for example
@@ -36,7 +47,6 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
 	"log"
 	"log/slog"
 	"net/http"
@@ -46,35 +56,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/logflag"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
-
-// newLogger builds the daemon's structured logger from the -log-format
-// and -log-level flags.
-func newLogger(format, level string) (*slog.Logger, error) {
-	var lvl slog.Level
-	switch level {
-	case "debug":
-		lvl = slog.LevelDebug
-	case "info":
-		lvl = slog.LevelInfo
-	case "warn":
-		lvl = slog.LevelWarn
-	case "error":
-		lvl = slog.LevelError
-	default:
-		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
-	}
-	opts := &slog.HandlerOptions{Level: lvl}
-	switch format {
-	case "text":
-		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
-	case "json":
-		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
-	}
-	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -87,11 +72,14 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	traceEvents := flag.Int("trace-events", 0, "per-job trace ring size for requests with \"trace\": true (0 = default 65536)")
+	traceStore := flag.Int("trace-store", 0, "span traces kept queryable at /debug/traces (0 = default 256)")
+	traceSlow := flag.Duration("trace-slow", 0, "tail sampler's slow-trace cutoff: traces at least this long are always kept (0 = default 1s)")
+	traceSample := flag.Float64("trace-sample", 0, "probability a trace that is neither errored nor slow is kept (0 = keep all)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
-	logger, err := newLogger(*logFormat, *logLevel)
+	logger, err := logflag.New(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
 		log.Fatalf("replayd: %v", err)
 	}
@@ -124,6 +112,9 @@ func main() {
 		QueueDepth:  *queue,
 		MaxInsts:    *maxInsts,
 		TraceEvents: *traceEvents,
+		TraceStore:  *traceStore,
+		TraceSlow:   *traceSlow,
+		TraceSample: *traceSample,
 		Logger:      logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: core.Handler()}

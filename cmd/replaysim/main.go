@@ -12,17 +12,22 @@
 // -attr appends the attribution table to any experiment; -trace out.json
 // records frame-lifecycle events as Chrome trace_event JSON (open in
 // chrome://tracing or Perfetto).
+//
+// -log-format/-log-level control structured diagnostics on stderr; the
+// default level is warn so tables stay the only output of a clean run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"repro"
 	"repro/internal/api"
+	"repro/internal/logflag"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -40,7 +45,18 @@ func main() {
 		"append the per-pass optimization attribution table (which optimizer pass killed/rewrote how many micro-ops, per workload)")
 	traceOut := flag.String("trace", "",
 		"record frame-lifecycle events and write Chrome trace_event JSON to this file (forces execution: the run memo is bypassed)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "warn", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	// A batch tool's stdout is its report; structured logs default to
+	// warn so they only surface problems unless asked for more.
+	logger, lerr := logflag.New(os.Stderr, *logFormat, *logLevel)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "replaysim:", lerr)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	opts := repro.ExpOptions{InstructionBudget: *insts, DisableCache: !*cache}
 	if *workloads != "" {

@@ -252,6 +252,11 @@ type Job struct {
 	ID    string `json:"id"`
 	Key   string `json:"key"`
 	State string `json:"state"`
+	// TraceID names the span trace the job's execution records into
+	// (the submitting request's trace, continued from its traceparent
+	// header when one was sent). Fetch it from /debug/traces/{id} once
+	// the job finishes. Empty when the server's tracer is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 	// Coalesced is set on submission responses when the request
 	// attached to an already in-flight job instead of enqueuing a new
 	// one.

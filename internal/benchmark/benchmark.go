@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -46,6 +47,11 @@ type Settings struct {
 	// still compare (the schema is identical) but the flag makes the
 	// provenance visible.
 	Quick bool `json:"quick"`
+	// Logger, when set, receives structured diagnostics from benchmarks
+	// that embed logging components (the replayd serving benchmark); nil
+	// discards them. Excluded from reports: it is runtime wiring, not a
+	// measurement parameter.
+	Logger *slog.Logger `json:"-"`
 }
 
 // DefaultSettings is the baseline configuration BENCH_*.json files are

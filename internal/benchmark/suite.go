@@ -171,9 +171,13 @@ func replaydSpec() Spec {
 		Unit:   "ms",
 		Better: Lower,
 		Setup: func(ctx context.Context, s Settings) (func(), error) {
+			logger := s.Logger
+			if logger == nil {
+				logger = slog.New(slog.DiscardHandler)
+			}
 			core = server.New(server.Config{
 				Workers: 2,
-				Logger:  slog.New(slog.DiscardHandler),
+				Logger:  logger,
 			})
 			ts = httptest.NewServer(core.Handler())
 			// One untimed request warms the capture cache and run memo, so

@@ -1,0 +1,61 @@
+package logflag
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLevels(t *testing.T) {
+	for level, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(level)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", level, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestFormatsAndFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("shown", "k", "v")
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one record, got %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("not JSON: %q (%v)", line, err)
+	}
+	if rec["msg"] != "shown" || rec["k"] != "v" {
+		t.Errorf("bad record: %v", rec)
+	}
+
+	buf.Reset()
+	l, err = New(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("fine")
+	if !strings.Contains(buf.String(), "fine") {
+		t.Errorf("text handler dropped a debug record: %q", buf.String())
+	}
+
+	if _, err := New(&buf, "xml", "info"); err == nil {
+		t.Error("New accepted an unknown format")
+	}
+}

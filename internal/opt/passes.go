@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"time"
+
 	"repro/internal/uop"
 	"repro/internal/x86"
 )
@@ -56,6 +58,19 @@ type PassRecorder interface {
 	RecordPass(frameID uint64, pass string, killed, rewritten int)
 }
 
+// TimedPassRecorder is an optional PassRecorder extension for wall-
+// clock pass timing. When the recorder passed to OptimizeTraced also
+// implements it, RecordPassTimed is called for EVERY pass invocation
+// (changed or not — time is spent either way) in addition to the
+// changed-only RecordPass calls; the combined memory pass reports its
+// timing under the name "mem" since its cse-load/sf split is visible
+// only in the rewrite counters. Span tracing aggregates these into
+// per-pass child spans of the run.
+type TimedPassRecorder interface {
+	PassRecorder
+	RecordPassTimed(frameID uint64, pass string, killed, rewritten int, d time.Duration)
+}
+
 // Optimize runs the configured passes over the frame in place and
 // returns the run's statistics. Pass order follows the paper's gateway
 // structure: NOP removal first, then a propagate/reassociate/common/
@@ -83,6 +98,9 @@ func optimize(of *OptFrame, opts Options, rec PassRecorder) Stats {
 	if rec != nil && of.Source != nil {
 		frameID = of.Source.ID
 	}
+	// timed is resolved once: the two time.Now calls per pass are paid
+	// only when someone consumes wall-clock timing.
+	timed, _ := rec.(TimedPassRecorder)
 	// traced measures what one pass invocation did: killed is the drop
 	// in valid uops (exact — passes only ever invalidate), rewritten the
 	// delta of the pass's own rewrite counter.
@@ -96,11 +114,18 @@ func optimize(of *OptFrame, opts Options, rec PassRecorder) Stats {
 		if rewrites != nil {
 			r0 = *rewrites
 		}
+		var t0 time.Time
+		if timed != nil {
+			t0 = time.Now()
+		}
 		fn()
 		killed := v0 - of.NumValid()
 		rew := 0
 		if rewrites != nil {
 			rew = *rewrites - r0
+		}
+		if timed != nil {
+			timed.RecordPassTimed(frameID, pass, killed, rew, time.Since(t0))
 		}
 		if killed != 0 || rew != 0 {
 			rec.RecordPass(frameID, pass, killed, rew)
@@ -128,12 +153,20 @@ func optimize(of *OptFrame, opts Options, rec PassRecorder) Stats {
 				changed = of.memPass(&s, opts) || changed
 			} else {
 				c0, f0 := s.CSELoads, s.SFLoads
-				changed = of.memPass(&s, opts) || changed
-				if d := s.CSELoads - c0; d > 0 {
-					rec.RecordPass(frameID, "cse-load", 0, d)
+				var t0 time.Time
+				if timed != nil {
+					t0 = time.Now()
 				}
-				if d := s.SFLoads - f0; d > 0 {
-					rec.RecordPass(frameID, "sf", 0, d)
+				changed = of.memPass(&s, opts) || changed
+				dcse, dsf := s.CSELoads-c0, s.SFLoads-f0
+				if timed != nil {
+					timed.RecordPassTimed(frameID, "mem", 0, dcse+dsf, time.Since(t0))
+				}
+				if dcse > 0 {
+					rec.RecordPass(frameID, "cse-load", 0, dcse)
+				}
+				if dsf > 0 {
+					rec.RecordPass(frameID, "sf", 0, dsf)
 				}
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/predict"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/uop"
 	"repro/internal/x86"
 )
@@ -101,6 +102,10 @@ type Engine struct {
 	tel         *telemetry.Collector
 	telRun      int
 	telInsertAt map[uint32]uint64 // frame-cache insert cycle per PC, for residency
+
+	// Wall-clock pass timing (see SetPassRecorder); nil unless a span
+	// trace is being assembled for this run.
+	passRec opt.TimedPassRecorder
 
 	// MispredictHook, when set, is called on every misprediction-style
 	// fetch stall (diagnostics).
@@ -460,7 +465,15 @@ const cancelCheckMask = 1<<10 - 1
 // exactly where the canceled one stopped. A nil ctx is allowed and makes
 // RunContext equivalent to Run.
 func (e *Engine) RunContext(ctx context.Context, maxInsts uint64) (uint64, error) {
+	// One span per engine drive (warmup and measured windows each get
+	// their own); a no-op nil span unless the request is being traced.
+	ctx, span := tracing.Start(ctx, "pipeline.run")
 	start := e.stats.X86Retired
+	defer func() {
+		span.SetAttr("insts", e.stats.X86Retired-start)
+		span.SetAttr("mode", e.mode.String())
+		span.End()
+	}()
 	for iter := 0; e.stats.X86Retired-start < maxInsts; iter++ {
 		if ctx != nil && iter&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {

@@ -82,11 +82,7 @@ func (e *Engine) startOptimizations() {
 		f := e.optQueue[0]
 		e.optQueue = e.optQueue[1:]
 		of := opt.Remap(f, e.cfg.OptScope)
-		var rec opt.PassRecorder
-		if e.tel.HasAttribution() {
-			rec = e.tel
-		}
-		st := opt.OptimizeTraced(of, e.cfg.OptOptions, rec)
+		st := opt.OptimizeTraced(of, e.cfg.OptOptions, e.optRecorder())
 		if e.cfg.OptReschedule {
 			opt.Schedule(of)
 		}

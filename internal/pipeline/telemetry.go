@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"time"
+
 	"repro/internal/cache"
+	"repro/internal/opt"
 	"repro/internal/telemetry"
 )
 
@@ -64,6 +67,53 @@ func wireCacheTelemetry[T any](e *Engine, c *cache.UOpCache[T]) {
 	c.OnHit = func(pc uint32) {
 		e.tel.CacheHit(e.telRun, e.cycle, pc)
 	}
+}
+
+// SetPassRecorder attaches a wall-clock pass-timing recorder to the
+// optimizer path (see opt.TimedPassRecorder). Like SetTelemetry it
+// lives on the Engine, not Config, so the memo-key fingerprint stays a
+// value. Detach by passing nil. Independent of telemetry attribution:
+// the two recorders are fanned out by a dual recorder at the optimize
+// call site.
+func (e *Engine) SetPassRecorder(r opt.TimedPassRecorder) {
+	e.passRec = r
+}
+
+// dualRecorder fans one OptimizeTraced recorder out to two consumers:
+// changed-only attribution (telemetry) and every-invocation wall-clock
+// timing (span tracing). Either side may be nil.
+type dualRecorder struct {
+	attr  opt.PassRecorder
+	timed opt.TimedPassRecorder
+}
+
+func (d dualRecorder) RecordPass(frameID uint64, pass string, killed, rewritten int) {
+	if d.attr != nil {
+		d.attr.RecordPass(frameID, pass, killed, rewritten)
+	}
+}
+
+func (d dualRecorder) RecordPassTimed(frameID uint64, pass string, killed, rewritten int, dur time.Duration) {
+	if d.timed != nil {
+		d.timed.RecordPassTimed(frameID, pass, killed, rewritten, dur)
+	}
+}
+
+// optRecorder picks the cheapest recorder covering the attached
+// consumers: nil when nobody listens, the telemetry collector alone
+// when only attribution is on (no time.Now cost), and a dual recorder
+// when pass timing is attached.
+func (e *Engine) optRecorder() opt.PassRecorder {
+	attr := e.tel.HasAttribution()
+	switch {
+	case e.passRec != nil && attr:
+		return dualRecorder{attr: e.tel, timed: e.passRec}
+	case e.passRec != nil:
+		return dualRecorder{timed: e.passRec}
+	case attr:
+		return e.tel
+	}
+	return nil
 }
 
 // CloseTelemetry flushes end-of-run state: frames still resident in

@@ -216,20 +216,25 @@ func TestMetricsRuntimeAndSLO(t *testing.T) {
 		"replayd_go_goroutines",
 		"replayd_go_gc_pause_seconds_p99",
 		"replayd_go_sched_latency_seconds_p50",
-		"# TYPE replayd_http_request_seconds summary",
-		`replayd_http_request_seconds{quantile="0.99"}`,
+		"# TYPE replayd_http_request_seconds histogram",
+		`replayd_http_request_seconds_bucket{le="+Inf"}`,
 		"replayd_http_request_seconds_count",
+		"# TYPE replayd_http_request_window_seconds summary",
+		`replayd_http_request_window_seconds{quantile="0.99"}`,
+		"replayd_http_request_window_seconds_count",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	// The /v1/run request above must have fed the SLO window.
+	// The /v1/run request above must have fed both the since-boot
+	// histogram and the SLO window.
 	for _, line := range strings.Split(out, "\n") {
-		if strings.HasPrefix(line, "replayd_http_request_seconds_count ") {
+		if strings.HasPrefix(line, "replayd_http_request_seconds_count ") ||
+			strings.HasPrefix(line, "replayd_http_request_window_seconds_count ") {
 			n, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
 			if err != nil || n < 1 {
-				t.Errorf("SLO sample count = %q, want >= 1", line)
+				t.Errorf("latency sample count = %q, want >= 1", line)
 			}
 		}
 	}

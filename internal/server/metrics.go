@@ -100,6 +100,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Histogram(h.Snapshot())
 	}
 
+	// Since-boot request-latency histogram: its buckets carry OpenMetrics
+	// exemplars stamping the trace ID of a recent request per bucket, so
+	// a latency outlier on a dashboard links straight to its span trace
+	// in /debug/traces.
+	p.Histogram(s.httpHist.Snapshot())
+
 	// Rolling SLO view: API request latency quantiles over the sliding
 	// window, exposed as a summary so dashboards read "p99 over the last
 	// five minutes" rather than a since-boot aggregate.
@@ -109,9 +115,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, q := range stats.DefaultSLOQuantiles {
 		qs[i] = stats.SummaryQuantile{Q: q, V: qv[i]}
 	}
-	p.Summary("replayd_http_request_seconds",
+	p.Summary("replayd_http_request_window_seconds",
 		"API (/v1/*) request latency over the sliding SLO window.",
 		qs, sum, count)
+
+	// Tail-sampler accounting for the span-trace store.
+	tst := s.traces.Stats()
+	p.Counter("replayd_traces_kept_total", "Completed traces retained by the tail sampler.", float64(tst.Kept))
+	p.Counter("replayd_traces_kept_error_total", "Traces retained because a span errored.", float64(tst.KeptError))
+	p.Counter("replayd_traces_kept_slow_total", "Traces retained because the root span met the slow threshold.", float64(tst.KeptSlow))
+	p.Counter("replayd_traces_dropped_total", "Completed traces dropped by the probabilistic gate.", float64(tst.Dropped))
+	p.Counter("replayd_traces_evicted_total", "Retained traces evicted by the store's capacity bound.", float64(tst.Evicted))
+	p.Gauge("replayd_traces_stored", "Traces currently queryable at /debug/traces.", float64(s.traces.Len()))
+	p.Gauge("replayd_traces_active", "Traces still assembling (a request or its job is in flight).", float64(s.tracer.ActiveTraces()))
 	p.Gauge("replayd_job_exec_seconds_avg",
 		"Moving average of successful job execution time.",
 		s.met.avgExecSeconds())

@@ -24,6 +24,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Runner executes one canonicalized request, reporting progress through
@@ -59,6 +60,17 @@ type Config struct {
 	// SLOWindow is the sliding window the request-latency quantiles on
 	// /metrics are computed over. Default 5m.
 	SLOWindow time.Duration
+	// TraceStore bounds how many completed request traces stay
+	// queryable at /debug/traces. Default 256.
+	TraceStore int
+	// TraceSlow is the tail sampler's slow-trace cutoff: a trace whose
+	// root span meets it is always retained. Default 1s.
+	TraceSlow time.Duration
+	// TraceSample is the probability a trace that is neither errored
+	// nor slow is retained (0 = keep all; the bounded store makes
+	// keep-all safe at replayd's request rates; negative keeps only
+	// error and slow traces).
+	TraceSample float64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +110,14 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// span is the job's span in the submitting request's trace; qspan
+	// is its queue-wait child. Both are nil-safe no-ops when the
+	// request was untraced. traceID is span's trace in hex, stamped on
+	// the wire view, log lines, and histogram exemplars.
+	span    *tracing.Span
+	qspan   *tracing.Span
+	traceID string
 
 	// waiters counts clients whose disconnect should cancel the job;
 	// detached marks jobs somebody wants regardless (async submissions).
@@ -178,6 +198,7 @@ func (j *job) view() api.Job {
 		ID:        j.id,
 		Key:       j.key,
 		State:     j.state,
+		TraceID:   j.traceID,
 		Result:    j.result,
 		QueuedAt:  j.queuedAt,
 		StartedAt: j.startedAt,
@@ -222,6 +243,13 @@ type Server struct {
 	// samples land in the same /metrics families.
 	hist *telemetry.HistogramSet
 	tel  *telemetry.Collector
+
+	// tracer roots one span trace per API request; completed traces
+	// land in traces behind its tail sampler. httpHist is the request
+	// latency histogram whose buckets carry trace-ID exemplars.
+	tracer   *tracing.Tracer
+	traces   *tracing.Store
+	httpHist *stats.LatencyHistogram
 }
 
 // New starts a server core: the worker pool is live on return.
@@ -241,6 +269,15 @@ func New(cfg Config) *Server {
 		slo:        stats.NewSLOWindow(cfg.SLOWindow, 0),
 	}
 	s.tel = telemetry.New(telemetry.Config{Hist: s.hist})
+	s.traces = tracing.NewStore(tracing.StoreConfig{
+		Capacity:      cfg.TraceStore,
+		SlowThreshold: cfg.TraceSlow,
+		SampleRate:    cfg.TraceSample,
+	})
+	s.tracer = tracing.NewTracer(s.traces)
+	s.httpHist = stats.NewLatencyHistogram("replayd_http_request_seconds",
+		"API (/v1/*) request latency since boot; bucket exemplars carry the trace ID of a recent request.",
+		stats.DefaultLatencyBounds...)
 	s.routes()
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -249,24 +286,56 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP surface, wrapped so every request
-// is timed into the sliding-window SLO quantiles and access-logged at
-// Debug (job lifecycle lines log at Info from the queue and workers).
+// Handler returns the service's HTTP surface, wrapped so every API
+// request opens the root span of a trace (continuing the client's W3C
+// traceparent when one was sent), is timed into the latency histogram
+// and the sliding-window SLO quantiles, and is access-logged at Debug
+// (job lifecycle lines log at Info from the queue and workers).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		isAPI := strings.HasPrefix(r.URL.Path, "/v1/")
+		var span *tracing.Span
+		if isAPI {
+			var tp *tracing.Traceparent
+			if hdr := r.Header.Get(tracing.TraceparentHeader); hdr != "" {
+				if p, err := tracing.ParseTraceparent(hdr); err == nil {
+					tp = &p
+				}
+			}
+			var ctx context.Context
+			ctx, span = s.tracer.StartRoot(r.Context(), r.Method+" "+r.URL.Path, tp)
+			if span != nil {
+				r = r.WithContext(ctx)
+				// Expose the trace ID even to clients that sent no
+				// traceparent, so any request can be followed into
+				// /debug/traces.
+				w.Header().Set("X-Trace-Id", span.TraceID().String())
+			}
+		}
 		s.mux.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
-		if strings.HasPrefix(r.URL.Path, "/v1/") {
+		var traceID string
+		if span != nil {
+			traceID = span.TraceID().String()
+			span.SetAttr("status", sw.Status())
+			if sw.Status() >= http.StatusInternalServerError {
+				span.SetError(fmt.Errorf("http %d", sw.Status()))
+			}
+			span.End()
+		}
+		if isAPI {
 			// Only the API surface feeds the SLO: /metrics scrapes and
 			// health probes would drown real request latencies.
 			s.slo.Observe(elapsed)
+			s.httpHist.ObserveEx(elapsed, traceID)
 		}
 		s.log.Debug("http request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.Status(),
+			"trace_id", traceID,
 			"duration_ms", float64(elapsed)/float64(time.Millisecond))
 	})
 }
@@ -317,6 +386,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
@@ -333,8 +404,10 @@ func (e *errSubmit) Error() string { return e.msg }
 // submit canonicalizes, validates and enqueues a request — or attaches
 // to an in-flight job with the same key (the coalescing path). detached
 // submissions keep the job alive with no waiting client; non-detached
-// callers must pair with releaseWaiter.
-func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
+// callers must pair with releaseWaiter. When ctx carries the request's
+// span, a fresh job opens its own child spans (job, queue wait) there,
+// and a coalescing hit links the request's trace to the leader job's.
+func (s *Server) submit(ctx context.Context, req api.RunRequest, detached bool) (*job, bool, error) {
 	if err := req.Validate(); err != nil {
 		return nil, false, &errSubmit{status: http.StatusBadRequest, msg: err.Error()}
 	}
@@ -359,6 +432,15 @@ func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 		} else {
 			j.waiters++
 		}
+		// The follower's trace doesn't contain the leader's spans (they
+		// belong to the leader's trace); a link on the request span
+		// connects the two so the flame view points at the job's trace.
+		if reqSpan := tracing.FromContext(ctx); reqSpan != nil {
+			reqSpan.SetAttr("coalesced_job", j.id)
+			if j.span != nil {
+				reqSpan.AddLink(j.span.TraceID(), j.span.SpanID())
+			}
+		}
 		j.log.Info("request coalesced onto in-flight job")
 		return j, true, nil
 	}
@@ -380,7 +462,24 @@ func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
 	}
+	// The job's spans parent under the submitting request's root but
+	// ride the job's own context: the job (and so its trace) may outlive
+	// the HTTP request that created it. The queue-wait span opens now
+	// and ends when a worker picks the job up.
+	if reqSpan := tracing.FromContext(ctx); reqSpan != nil {
+		jctx, j.span = tracing.Start(tracing.ContextWithSpan(jctx, reqSpan), "job")
+		j.span.SetAttr("job_id", j.id)
+		j.span.SetAttr("experiment", c.Experiment)
+		_, j.qspan = tracing.Start(jctx, "queue.wait")
+		if j.span != nil {
+			j.traceID = j.span.TraceID().String()
+		}
+		j.ctx = jctx
+	}
 	j.log = s.log.With("job_id", j.id, "key", j.key)
+	if j.traceID != "" {
+		j.log = j.log.With("trace_id", j.traceID)
+	}
 	if !detached {
 		j.waiters = 1
 	}
@@ -388,6 +487,9 @@ func (s *Server) submit(req api.RunRequest, detached bool) (*job, bool, error) {
 	case s.queue <- j:
 	default:
 		jcancel()
+		j.qspan.End()
+		j.span.SetError(errors.New("job queue full"))
+		j.span.End()
 		s.met.rejected.Add(1)
 		retry := s.retryAfterLocked()
 		s.log.Warn("job queue full, rejecting request",
@@ -468,6 +570,7 @@ func (s *Server) execute(j *job) {
 		s.settle(j, nil, err)
 		return
 	}
+	j.qspan.End()
 	s.met.busyWorkers.Add(1)
 	j.setState(api.StateRunning)
 	j.log.Info("job started",
@@ -475,21 +578,33 @@ func (s *Server) execute(j *job) {
 		"trace", j.req.Trace)
 	// Every job runs under a collector so its frame-lifecycle histograms
 	// feed /metrics. Traced jobs get a private collector (ring buffer,
-	// labeled with the coalescing key, same histogram set); it stays on
-	// the job so /debug/trace can serve it during and after the run.
+	// labeled with the coalescing key, tagged with the job ID so ring
+	// events join log lines, same histogram set); it stays on the job so
+	// /debug/trace can serve it during and after the run. A span-carrying
+	// job without an event ring still gets a private histogram-only
+	// collector so its samples stamp the request's trace ID as bucket
+	// exemplars — histogram-only collection keeps the run memo.
 	tel := s.tel
-	if j.req.Trace {
+	switch {
+	case j.req.Trace:
 		tel = telemetry.New(telemetry.Config{
 			Hist:        s.hist,
 			TraceEvents: s.cfg.TraceEvents,
 			Label:       j.key,
+			JobID:       j.id,
+			TraceID:     j.traceID,
 		})
 		j.mu.Lock()
 		j.tel = tel
 		j.mu.Unlock()
+	case j.traceID != "":
+		tel = telemetry.New(telemetry.Config{Hist: s.hist, TraceID: j.traceID})
 	}
 	ctx := telemetry.NewContext(j.ctx, tel)
+	ctx, espan := tracing.Start(ctx, "job.exec")
 	res, err := s.cfg.Runner(ctx, j.req, j.appendEvent)
+	espan.SetError(err)
+	espan.End()
 	s.met.busyWorkers.Add(-1)
 	s.settle(j, res, err)
 }
@@ -523,6 +638,14 @@ func (s *Server) settle(j *job, res *api.RunResponse, err error) {
 	if err == nil && execDur > 0 {
 		s.met.observeExec(execDur.Seconds())
 	}
+	// Close out the job's spans (idempotent: the queue-wait span already
+	// ended if a worker picked the job up). An errored or canceled job
+	// makes its trace an error trace, which the tail sampler always
+	// keeps.
+	j.qspan.End()
+	j.span.SetAttr("outcome", state)
+	j.span.SetError(err)
+	j.span.End()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -613,7 +736,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	j, coalesced, err := s.submit(req, true)
+	j, coalesced, err := s.submit(r.Context(), req, true)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -632,7 +755,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	j, coalesced, err := s.submit(req, false)
+	j, coalesced, err := s.submit(r.Context(), req, false)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -768,6 +891,54 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = tel.WriteTrace(w)
+}
+
+// handleTraces lists the span traces retained by the tail sampler,
+// newest first. ?limit=N bounds the listing.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad limit: " + v})
+			return
+		}
+		limit = n
+	}
+	list := s.traces.List(limit)
+	if list == nil {
+		list = []tracing.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleTraceByID serves one stored trace: raw span JSON by default,
+// Chrome trace_event JSON with ?format=chrome (load into Perfetto, or
+// feed to cmd/tracecheck), the flame-style text tree with ?format=text
+// (what replayctl -trace renders).
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := tracing.ParseTraceID(id); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	tr := s.traces.Get(id)
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such trace (evicted, sampled out, or never seen)"})
+		return
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		writeJSON(w, http.StatusOK, tr)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChrome(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tr.WriteText(w)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown format " + f + " (want json, chrome or text)"})
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,7 @@ import (
 type jobEnvelope struct {
 	ID        string          `json:"id"`
 	State     string          `json:"state"`
+	TraceID   string          `json:"trace_id"`
 	Coalesced bool            `json:"coalesced"`
 	Error     string          `json:"error"`
 	Result    json.RawMessage `json:"result"`
@@ -271,7 +272,7 @@ func TestLastWaiterCancels(t *testing.T) {
 	s := New(Config{Workers: 2, Runner: g.run})
 	defer s.Shutdown(context.Background())
 
-	j, coalesced, err := s.submit(api.RunRequest{Experiment: "fig6"}, false)
+	j, coalesced, err := s.submit(context.Background(), api.RunRequest{Experiment: "fig6"}, false)
 	if err != nil || coalesced {
 		t.Fatalf("submit: coalesced=%v err=%v", coalesced, err)
 	}
@@ -290,7 +291,7 @@ func TestLastWaiterCancels(t *testing.T) {
 	}
 
 	// An async job with zero waiters keeps running.
-	jd, _, err := s.submit(api.RunRequest{Experiment: "table3"}, true)
+	jd, _, err := s.submit(context.Background(), api.RunRequest{Experiment: "table3"}, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,9 +14,9 @@ import (
 )
 
 // TestRunnerReceivesCollector: the server threads a collector through
-// the runner context — the global histogram-only one for plain jobs, a
-// private tracing one (labeled with the coalescing key) when the
-// request asks for a trace.
+// the runner context — a histogram-only one stamping the request's
+// trace ID as exemplars for plain jobs, a private tracing one (labeled
+// with the coalescing key) when the request asks for an event trace.
 func TestRunnerReceivesCollector(t *testing.T) {
 	type seen struct {
 		tel *telemetry.Collector
@@ -36,11 +36,19 @@ func TestRunnerReceivesCollector(t *testing.T) {
 		t.Fatalf("plain run: status %d", code)
 	}
 	g := <-got
-	if g.tel != s.tel {
-		t.Errorf("plain job did not run under the global collector")
+	if g.tel == nil {
+		t.Fatal("plain job ran with no collector")
+	}
+	if g.tel == s.tel {
+		// The request opened a trace, so the job must not share the
+		// global collector: its histogram samples carry the trace ID.
+		t.Errorf("plain job ran under the global collector, want a per-job exemplar one")
 	}
 	if g.tel.HasTrace() {
-		t.Errorf("global collector has a trace ring")
+		t.Errorf("plain job's collector has a trace ring")
+	}
+	if g.tel.RequiresExecution() {
+		t.Errorf("plain job's collector bypasses the run memo")
 	}
 
 	traced := plain

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/translate"
 	"repro/internal/uop"
 	"repro/internal/workload"
@@ -136,6 +137,18 @@ func (r *Result) IPC() float64 { return r.Stats.IPC() }
 // baselines) execute them once. Both layers are observationally
 // transparent: the stream is deterministic per (profile, trace).
 func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o Options) (Result, error) {
+	// One span per (workload, mode) run; a no-op nil span unless the
+	// caller's context carries an active trace (replayd requests do).
+	ctx, span := tracing.Start(ctx, "sim.run")
+	span.SetAttr("workload", p.Name)
+	span.SetAttr("mode", mode.String())
+	res, err := runWorkload(ctx, p, mode, o, span)
+	span.SetError(err)
+	span.End()
+	return res, err
+}
+
+func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o Options, span *tracing.Span) (Result, error) {
 	res := Result{Workload: p.Name, Class: p.Class, Mode: mode}
 	budget := p.XInsts
 	if o.MaxInsts > 0 {
@@ -159,6 +172,7 @@ func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		key = memoKey{profile: profileFingerprint(&p), mode: mode,
 			budget: budget, warmFrac: warmFrac, config: cfg.Fingerprint()}
 		if s, ok := memoGet(key); ok {
+			span.SetAttr("memo_hit", true)
 			res.Stats = s
 			if o.Notify != nil {
 				o.Notify(res)
@@ -173,45 +187,9 @@ func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 				return res, err
 			}
 		}
-		var stream slotSource
-		if o.DisableCache {
-			prog, err := workload.Generate(p, t)
-			if err != nil {
-				return res, err
-			}
-			stream = newCPUStream(prog)
-		} else {
-			rec, err := captures.get(p, t, budget)
-			if err != nil {
-				return res, err
-			}
-			stream = &replayStream{rec: rec}
-		}
-		eng := pipeline.New(cfg, mode, stream)
-
-		warm := uint64(float64(budget) * warmFrac)
-		if _, err := eng.RunContext(ctx, warm); err != nil {
+		if err := runTrace(ctx, &res, p, mode, cfg, o, budget, warmFrac, t); err != nil {
 			return res, err
 		}
-		// Telemetry attaches after warmup, so events, histograms, and
-		// per-pass attribution cover exactly the measured window — the
-		// same boundary ResetStats draws for the counters. Attaching per
-		// engine (rather than toggling the collector) keeps a collector
-		// shared across parallel runs race-free.
-		if o.Telemetry != nil {
-			run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", p.Name, mode, t))
-			eng.SetTelemetry(o.Telemetry, run)
-		}
-		eng.ResetStats()
-		if _, err := eng.RunContext(ctx, uint64(budget)-warm); err != nil {
-			return res, err
-		}
-		if err := stream.Err(); err != nil {
-			return res, fmt.Errorf("sim %s trace %d: %w", p.Name, t, err)
-		}
-		eng.CloseTelemetry()
-		s := eng.Stats()
-		res.Stats.Add(&s)
 	}
 	recordRun(&res.Stats)
 	if useMemo {
@@ -221,6 +199,73 @@ func RunWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		o.Notify(res)
 	}
 	return res, nil
+}
+
+// runTrace simulates one hot-spot trace: warmup window, telemetry
+// attach, measured window. When the context carries an active span the
+// two windows get child spans and the measured window additionally
+// aggregates per-optimizer-pass wall time into opt.<pass> spans.
+func runTrace(ctx context.Context, res *Result, p workload.Profile, mode pipeline.Mode,
+	cfg pipeline.Config, o Options, budget int, warmFrac float64, t int) error {
+	var stream slotSource
+	if o.DisableCache {
+		prog, err := workload.Generate(p, t)
+		if err != nil {
+			return err
+		}
+		stream = newCPUStream(prog)
+	} else {
+		rec, err := captures.get(p, t, budget)
+		if err != nil {
+			return err
+		}
+		stream = &replayStream{rec: rec}
+	}
+	eng := pipeline.New(cfg, mode, stream)
+
+	warm := uint64(float64(budget) * warmFrac)
+	wctx, wspan := tracing.Start(ctx, "sim.warmup")
+	wspan.SetAttr("trace", t)
+	_, err := eng.RunContext(wctx, warm)
+	wspan.End()
+	if err != nil {
+		return err
+	}
+	// Telemetry attaches after warmup, so events, histograms, and
+	// per-pass attribution cover exactly the measured window — the
+	// same boundary ResetStats draws for the counters. Attaching per
+	// engine (rather than toggling the collector) keeps a collector
+	// shared across parallel runs race-free.
+	if o.Telemetry != nil {
+		run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", p.Name, mode, t))
+		eng.SetTelemetry(o.Telemetry, run)
+	}
+	eng.ResetStats()
+	mctx, mspan := tracing.Start(ctx, "sim.measure")
+	mspan.SetAttr("trace", t)
+	var agg *passAgg
+	if mspan != nil {
+		agg = newPassAgg()
+		eng.SetPassRecorder(agg)
+	}
+	_, err = eng.RunContext(mctx, uint64(budget)-warm)
+	if err == nil {
+		if serr := stream.Err(); serr != nil {
+			err = fmt.Errorf("sim %s trace %d: %w", p.Name, t, serr)
+		}
+	}
+	if agg != nil {
+		agg.emit(mspan)
+	}
+	mspan.SetError(err)
+	mspan.End()
+	if err != nil {
+		return err
+	}
+	eng.CloseTelemetry()
+	s := eng.Stats()
+	res.Stats.Add(&s)
+	return nil
 }
 
 // runJob is one (workload, mode, options) simulation request.

@@ -32,7 +32,9 @@ func (p *Prom) Gauge(name, help string, value float64) {
 
 // Histogram emits a snapshot in the Prometheus histogram exposition:
 // cumulative _bucket{le="..."} samples ending at +Inf, then _sum and
-// _count.
+// _count. Buckets whose snapshot carries an exemplar get an
+// OpenMetrics exemplar annotation — `# {trace_id="..."} value ts` —
+// appended to the bucket line, linking the bucket to a stored trace.
 func (p *Prom) Histogram(s HistogramSnapshot) {
 	if p.err != nil {
 		return
@@ -41,11 +43,23 @@ func (p *Prom) Histogram(s HistogramSnapshot) {
 	cum := uint64(0)
 	for i, b := range s.Bounds {
 		cum += s.Counts[i]
-		p.printf("%s_bucket{le=\"%s\"} %d\n", s.Name, formatBound(b), cum)
+		p.printf("%s_bucket{le=\"%s\"} %d%s\n", s.Name, formatBound(b), cum, exemplarSuffix(s, i))
 	}
-	p.printf("%s_bucket{le=\"+Inf\"} %d\n", s.Name, s.Count)
-	p.printf("%s_sum %d\n", s.Name, s.Sum)
+	p.printf("%s_bucket{le=\"+Inf\"} %d%s\n", s.Name, s.Count, exemplarSuffix(s, len(s.Bounds)))
+	p.printf("%s_sum %s\n", s.Name, strconv.FormatFloat(s.Sum, 'g', -1, 64))
 	p.printf("%s_count %d\n", s.Name, s.Count)
+}
+
+// exemplarSuffix renders bucket i's exemplar annotation, or "".
+func exemplarSuffix(s HistogramSnapshot, i int) string {
+	if i >= len(s.Exemplars) || s.Exemplars[i].TraceID == "" {
+		return ""
+	}
+	ex := s.Exemplars[i]
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+		ex.TraceID,
+		strconv.FormatFloat(ex.Value, 'g', -1, 64),
+		float64(ex.Ts.UnixNano())/1e9)
 }
 
 // SummaryQuantile is one pre-computed quantile of a Summary.

@@ -40,7 +40,7 @@ func TestHistogramObserveAndSnapshot(t *testing.T) {
 		t.Fatalf("count = %d", s.Count)
 	}
 	if s.Sum != 120 {
-		t.Errorf("sum = %d", s.Sum)
+		t.Errorf("sum = %v", s.Sum)
 	}
 	// Buckets: ≤1: {0,1}=2, ≤2: {2}=1, ≤4: {3}=1, ≤8: {5}=1, +Inf: {9,100}=2.
 	want := []uint64{2, 1, 1, 1, 2}

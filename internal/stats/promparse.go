@@ -9,11 +9,22 @@ import (
 	"strings"
 )
 
+// PromExemplar is an OpenMetrics exemplar annotation parsed from a
+// bucket line's `# {trace_id="..."} value [timestamp]` suffix. Ts is
+// Unix seconds, 0 if absent.
+type PromExemplar struct {
+	TraceID string
+	Value   float64
+	Ts      float64
+}
+
 // PromBucket is one cumulative histogram bucket from a parsed
-// exposition; Le is math.Inf(1) for the +Inf bucket.
+// exposition; Le is math.Inf(1) for the +Inf bucket. Exemplar is
+// non-nil when the bucket line carried an exemplar annotation.
 type PromBucket struct {
-	Le    float64
-	Count float64
+	Le       float64
+	Count    float64
+	Exemplar *PromExemplar
 }
 
 // PromQuantile is one quantile sample of a parsed summary.
@@ -143,7 +154,7 @@ func ParseProm(r io.Reader) ([]PromFamily, error) {
 			f := family(strings.TrimSuffix(name, "_bucket"))
 			if le, ok := labelValue(labels, "le"); ok {
 				if v, err := parseBound(le); err == nil {
-					f.Buckets = append(f.Buckets, PromBucket{Le: v, Count: value})
+					f.Buckets = append(f.Buckets, PromBucket{Le: v, Count: value, Exemplar: parseExemplar(line)})
 				}
 			}
 		case summ[name]:
@@ -176,8 +187,44 @@ func isDecomposed(hist, summ map[string]bool, base string) bool {
 	return hist[base] || summ[base]
 }
 
+// parseExemplar extracts an OpenMetrics exemplar annotation —
+// `# {labels} value [timestamp]` appended after a sample — returning
+// nil if the line has none or it is malformed (tolerant, like the rest
+// of the parser).
+func parseExemplar(line string) *PromExemplar {
+	i := strings.Index(line, " # ")
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(line[i+3:])
+	if !strings.HasPrefix(rest, "{") {
+		return nil
+	}
+	j := strings.IndexByte(rest, '}')
+	if j < 0 {
+		return nil
+	}
+	labels := rest[1:j]
+	fields := strings.Fields(rest[j+1:])
+	if len(fields) == 0 {
+		return nil
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil
+	}
+	ex := &PromExemplar{Value: v}
+	ex.TraceID, _ = labelValue(labels, "trace_id")
+	if len(fields) > 1 {
+		if ts, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			ex.Ts = ts
+		}
+	}
+	return ex
+}
+
 // parseSample splits "name{labels} value" or "name value". A trailing
-// timestamp, if present, is ignored.
+// timestamp or exemplar annotation, if present, is ignored.
 func parseSample(line string) (name, labels string, value float64, ok bool) {
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {

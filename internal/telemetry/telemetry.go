@@ -80,6 +80,14 @@ type Config struct {
 	// is the job's coalescing key, making traces per-request
 	// attributable.
 	Label string
+	// JobID tags exported trace events with the daemon's job id — the
+	// same id slog records and NDJSON progress events carry — so the
+	// three observability streams join on one key.
+	JobID string
+	// TraceID, when set, is stamped as the exemplar on every histogram
+	// bucket this collector's observations land in, linking /metrics
+	// lifecycle histograms back to the request's stored span trace.
+	TraceID string
 }
 
 // PassStat is one row of the attribution table: what a named optimizer
@@ -100,6 +108,8 @@ var PassOrder = []string{"nop", "cp", "ra", "cse", "cse-load", "sf", "assert", "
 type Collector struct {
 	enabled atomic.Bool
 	label   string
+	jobID   string
+	traceID string
 	hist    *HistogramSet
 
 	attrMu sync.Mutex
@@ -116,6 +126,8 @@ type Collector struct {
 func New(cfg Config) *Collector {
 	c := &Collector{
 		label:    cfg.Label,
+		jobID:    cfg.JobID,
+		traceID:  cfg.TraceID,
 		hist:     cfg.Hist,
 		runNames: map[int]string{},
 	}
@@ -146,6 +158,14 @@ func (c *Collector) Label() string {
 		return ""
 	}
 	return c.label
+}
+
+// JobID returns the daemon job id tagged on exported trace events.
+func (c *Collector) JobID() string {
+	if c == nil {
+		return ""
+	}
+	return c.jobID
 }
 
 // RequiresExecution reports whether this collector needs the simulator
@@ -190,7 +210,7 @@ func (c *Collector) FrameConstructed(run int, cycle, frameID uint64, pc uint32, 
 		return
 	}
 	if c.hist != nil {
-		c.hist.FrameUOps.Observe(uint64(uops))
+		c.hist.FrameUOps.ObserveEx(uint64(uops), c.traceID)
 	}
 	if c.ring != nil {
 		c.ring.add(ringEvent{name: "construct", ph: phInstant, ts: cycle,
@@ -215,7 +235,7 @@ func (c *Collector) FrameOptimized(run int, start uint64, frameID uint64, pc uin
 		return
 	}
 	if c.hist != nil {
-		c.hist.OptDwell.Observe(dwell)
+		c.hist.OptDwell.ObserveEx(dwell, c.traceID)
 	}
 	if c.ring != nil {
 		c.ring.add(ringEvent{name: "optimize", ph: phComplete, ts: start, dur: dwell,
@@ -288,7 +308,7 @@ func (c *Collector) CacheEvict(run int, cycle uint64, pc uint32, uops int, resid
 		return
 	}
 	if c.hist != nil {
-		c.hist.CacheResidency.Observe(residency)
+		c.hist.CacheResidency.ObserveEx(residency, c.traceID)
 	}
 	if c.ring != nil {
 		c.ring.add(ringEvent{name: "cache-evict", ph: phInstant, ts: cycle,
@@ -302,7 +322,7 @@ func (c *Collector) CacheResident(residency uint64) {
 	if c == nil || !c.enabled.Load() || c.hist == nil {
 		return
 	}
-	c.hist.CacheResidency.Observe(residency)
+	c.hist.CacheResidency.ObserveEx(residency, c.traceID)
 }
 
 // CacheHit records a frame-cache lookup hit.
@@ -321,7 +341,7 @@ func (c *Collector) FetchRetire(latency uint64) {
 	if c == nil || !c.enabled.Load() || c.hist == nil {
 		return
 	}
-	c.hist.FetchRetire.Observe(latency)
+	c.hist.FetchRetire.ObserveEx(latency, c.traceID)
 }
 
 // FrameFetch records one frame execution on the fetch track, from

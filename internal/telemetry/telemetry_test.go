@@ -80,7 +80,7 @@ func TestAttributionOrder(t *testing.T) {
 }
 
 func TestTraceExportValidates(t *testing.T) {
-	c := New(Config{TraceEvents: 128, Label: "job-key-1"})
+	c := New(Config{TraceEvents: 128, Label: "job-key-1", JobID: "j-00000001"})
 	run := c.NewRun("bzip2/RPO/t0")
 	c.FeedSpan(run, 0, 50, 1000, 40)
 	c.FrameConstructed(run, 30, 1, 0x400, 64)
@@ -104,7 +104,8 @@ func TestTraceExportValidates(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"job":"job-key-1"`, "bzip2/RPO/t0", "frame-commit", "assert-fire",
+		`"job":"job-key-1"`, `"job_id":"j-00000001"`, "bzip2/RPO/t0",
+		"frame-commit", "assert-fire",
 		"cache-evict", `"residency":260`, "process_name", "thread_name",
 	} {
 		if !strings.Contains(out, want) {

@@ -132,6 +132,9 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	if c.label != "" {
 		out.OtherData["job"] = c.label
 	}
+	if c.jobID != "" {
+		out.OtherData["job_id"] = c.jobID
+	}
 
 	// Metadata first: name each run's process and each lane's thread.
 	runIDs := make([]int, 0, len(runs))
@@ -191,6 +194,9 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		}
 		if c.label != "" {
 			te.Args["job"] = c.label
+		}
+		if c.jobID != "" {
+			te.Args["job_id"] = c.jobID
 		}
 		if len(te.Args) == 0 {
 			te.Args = nil

@@ -1,0 +1,106 @@
+package tracing
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the W3C propagation header name.
+const TraceparentHeader = "traceparent"
+
+// FlagSampled is the sampled bit of the traceparent flags byte.
+const FlagSampled byte = 0x01
+
+// Traceparent is the parsed form of a W3C traceparent header:
+// version 00, "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+type Traceparent struct {
+	Trace TraceID
+	Span  SpanID
+	Flags byte
+}
+
+// Sampled reports the sampled flag bit.
+func (tp Traceparent) Sampled() bool { return tp.Flags&FlagSampled != 0 }
+
+// String renders the version-00 header form.
+func (tp Traceparent) String() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tp.Trace, tp.Span, tp.Flags)
+}
+
+// ParseTraceparent parses a version-00 traceparent header value. Per
+// the W3C spec it rejects unknown/invalid versions, wrong field widths,
+// non-hex digits, and all-zero trace or parent IDs. Surrounding
+// whitespace is tolerated (headers arrive trimmed in practice, but the
+// check is cheap).
+func ParseTraceparent(s string) (Traceparent, error) {
+	var tp Traceparent
+	s = strings.TrimSpace(s)
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 {
+		return tp, fmt.Errorf("traceparent: want 4 dash-separated fields, got %d", len(parts))
+	}
+	ver, tid, sid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isHex(ver) {
+		return tp, fmt.Errorf("traceparent: bad version field %q", ver)
+	}
+	if ver == "ff" {
+		return tp, fmt.Errorf("traceparent: version ff is forbidden")
+	}
+	if ver != "00" {
+		return tp, fmt.Errorf("traceparent: unsupported version %q", ver)
+	}
+	if len(tid) != 32 || !isHex(tid) {
+		return tp, fmt.Errorf("traceparent: trace-id must be 32 lowercase hex chars")
+	}
+	if _, err := hex.Decode(tp.Trace[:], []byte(tid)); err != nil {
+		return tp, fmt.Errorf("traceparent: bad trace-id: %v", err)
+	}
+	if tp.Trace.IsZero() {
+		return tp, fmt.Errorf("traceparent: all-zero trace-id is invalid")
+	}
+	if len(sid) != 16 || !isHex(sid) {
+		return tp, fmt.Errorf("traceparent: parent-id must be 16 lowercase hex chars")
+	}
+	if _, err := hex.Decode(tp.Span[:], []byte(sid)); err != nil {
+		return tp, fmt.Errorf("traceparent: bad parent-id: %v", err)
+	}
+	if tp.Span.IsZero() {
+		return tp, fmt.Errorf("traceparent: all-zero parent-id is invalid")
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return tp, fmt.Errorf("traceparent: flags must be 2 hex chars, got %q", flags)
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(flags)); err != nil {
+		return tp, fmt.Errorf("traceparent: bad flags: %v", err)
+	}
+	tp.Flags = fb[0]
+	return tp, nil
+}
+
+// ParseTraceID parses a bare 32-hex-digit trace ID (the form
+// /debug/traces/{id} and replayctl -trace accept).
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace id must be 32 hex chars, got %d", len(s))
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, fmt.Errorf("bad trace id: %v", err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("all-zero trace id is invalid")
+	}
+	return t, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

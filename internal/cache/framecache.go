@@ -24,6 +24,12 @@ type UOpCache[T any] struct {
 	OnInsert func(pc uint32, size int)
 	OnEvict  func(pc uint32, size int)
 	OnHit    func(pc uint32)
+
+	// Recycle, when set, receives every displaced value — capacity
+	// eviction, same-PC replacement, and invalidation — after the
+	// OnEvict observation. The pipeline uses it to return frame buffers
+	// to their pools; the cache itself holds no reference afterwards.
+	Recycle func(value T)
 }
 
 type entry[T any] struct {
@@ -93,6 +99,9 @@ func (c *UOpCache[T]) Insert(pc uint32, size int, value T) bool {
 		if c.OnEvict != nil {
 			c.OnEvict(e.pc, e.size)
 		}
+		if c.Recycle != nil {
+			c.Recycle(e.value)
+		}
 	}
 	c.entries[pc] = c.lru.PushFront(&entry[T]{pc: pc, size: size, value: value})
 	c.used += size
@@ -112,6 +121,9 @@ func (c *UOpCache[T]) Invalidate(pc uint32) {
 		delete(c.entries, pc)
 		if c.OnEvict != nil {
 			c.OnEvict(pc, old.size)
+		}
+		if c.Recycle != nil {
+			c.Recycle(old.value)
 		}
 	}
 }

@@ -27,6 +27,11 @@ type CPU struct {
 	// decoded caches decoded instructions by PC. The model does not
 	// support self-modifying code, so the cache never invalidates.
 	decoded map[uint32]x86.Inst
+
+	// eff is the per-step effect accumulator, owned by the CPU so the
+	// hot stepping paths reuse one buffer instead of allocating per
+	// instruction. Step copies out of it before returning.
+	eff stepEffects
 }
 
 // New returns a CPU with zeroed registers over the given memory.
@@ -146,33 +151,51 @@ func (c *CPU) flagsLogic(r uint32) uint32 {
 	return r
 }
 
-// Step decodes and executes one instruction at PC, returning its trace
-// record. Once halted, Step returns ErrHalted.
-func (c *CPU) Step() (trace.Record, error) {
-	if c.Halted {
-		return trace.Record{}, ErrHalted
-	}
+// stepExec decodes and executes one instruction at PC, accumulating its
+// memory effects in c.eff. On success it advances PC and StepCount and
+// returns the decoded instruction and the dynamic successor; on error
+// the architectural position is unchanged.
+func (c *CPU) stepExec() (x86.Inst, uint32, error) {
 	in, ok := c.decoded[c.PC]
 	if !ok {
 		code := c.Mem.ReadBytes(c.PC, 15)
 		var err error
 		in, err = x86.Decode(code)
 		if err != nil {
-			return trace.Record{}, fmt.Errorf("cpu: at %#x: %w", c.PC, err)
+			return in, 0, fmt.Errorf("cpu: at %#x: %w", c.PC, err)
 		}
 		c.decoded[c.PC] = in
 	}
 
+	c.eff.memOps = c.eff.memOps[:0]
+	nextPC := c.PC + uint32(in.Len)
+	if err := c.exec(in, &c.eff, &nextPC); err != nil {
+		return in, 0, fmt.Errorf("cpu: at %#x (%s): %w", c.PC, in, err)
+	}
+	c.PC = nextPC
+	c.StepCount++
+	return in, nextPC, nil
+}
+
+// Step decodes and executes one instruction at PC, returning its trace
+// record. Once halted, Step returns ErrHalted.
+func (c *CPU) Step() (trace.Record, error) {
+	if c.Halted {
+		return trace.Record{}, ErrHalted
+	}
+	pc := c.PC
 	before := c.Regs
 	flagsBefore := c.Flags
-	var e stepEffects
-	nextPC := c.PC + uint32(in.Len)
-
-	if err := c.exec(in, &e, &nextPC); err != nil {
-		return trace.Record{}, fmt.Errorf("cpu: at %#x (%s): %w", c.PC, in, err)
+	in, nextPC, err := c.stepExec()
+	if err != nil {
+		return trace.Record{}, err
 	}
 
-	rec := trace.Record{PC: c.PC, Len: uint8(in.Len), MemOps: e.memOps, NextPC: nextPC}
+	rec := trace.Record{PC: pc, Len: uint8(in.Len), NextPC: nextPC}
+	if n := len(c.eff.memOps); n > 0 {
+		rec.MemOps = make([]trace.MemOp, n)
+		copy(rec.MemOps, c.eff.memOps)
+	}
 	for r := uint8(0); r < 8; r++ {
 		if c.Regs[r] != before[r] {
 			rec.SetReg(r, c.Regs[r])
@@ -182,9 +205,25 @@ func (c *CPU) Step() (trace.Record, error) {
 		rec.SetFlagsChanged()
 		rec.Flags = uint32(c.Flags)
 	}
-	c.PC = nextPC
-	c.StepCount++
 	return rec, nil
+}
+
+// StepAddrs executes one instruction like Step but reports only the
+// memory addresses it touched, appended to addrs, plus the dynamic
+// successor PC. It is the allocation-free fast path for the timing
+// model's correct-path stream, which needs no register/value trace.
+func (c *CPU) StepAddrs(addrs []uint32) ([]uint32, uint32, error) {
+	if c.Halted {
+		return addrs, 0, ErrHalted
+	}
+	_, nextPC, err := c.stepExec()
+	if err != nil {
+		return addrs, 0, err
+	}
+	for i := range c.eff.memOps {
+		addrs = append(addrs, c.eff.memOps[i].Addr)
+	}
+	return addrs, nextPC, nil
 }
 
 const wordSize = 4

@@ -308,7 +308,10 @@ func (c *Constructor) Flush() { c.finish() }
 // sequencer fetched a cached frame over the same instructions: the region
 // is already covered, and rebuilding it from a different alignment would
 // endlessly churn overlapping tilings). Bias tables are kept.
-func (c *Constructor) Reset() { c.pending = nil }
+func (c *Constructor) Reset() {
+	PutFrame(c.pending)
+	c.pending = nil
+}
 
 // RetireFrame informs the constructor that a cached frame's instructions
 // retired through a frame-cache fetch. The frame's already-converted
@@ -324,6 +327,7 @@ func (c *Constructor) RetireFrame(f *Frame, memAddr []uint32) {
 	if len(f.UOps) > c.cfg.MaxUOps/2 {
 		// Already near capacity: growing would immediately overflow, so
 		// leave construction idle until fetch exits to uncovered code.
+		PutFrame(c.pending)
 		c.pending = nil
 		c.lastNext = f.ExitPC
 		return
@@ -359,7 +363,10 @@ func (c *Constructor) RetireFrame(f *Frame, memAddr []uint32) {
 
 // startAt begins a new pending frame at the given PC.
 func (c *Constructor) startAt(pc uint32) {
-	c.pending = &Frame{ID: c.nextID, StartPC: pc}
+	f := getFrame()
+	f.ID = c.nextID
+	f.StartPC = pc
+	c.pending = f
 	c.nextID++
 }
 
@@ -373,13 +380,16 @@ func (c *Constructor) clock() uint64 {
 }
 
 // deposit hands a finished frame downstream and reports it to
-// telemetry. Both finish paths funnel through here.
+// telemetry. Both finish paths funnel through here. The telemetry
+// fields are captured before the callback: Deposit transfers ownership,
+// and a receiver that drops the frame may recycle it immediately.
 func (c *Constructor) deposit(f *Frame) {
 	c.Constructed++
+	id, pc, uops := f.ID, f.StartPC, len(f.UOps)
 	if c.Deposit != nil {
 		c.Deposit(f)
 	}
-	c.Tel.FrameConstructed(c.TelRun, c.clock(), f.ID, f.StartPC, len(f.UOps))
+	c.Tel.FrameConstructed(c.TelRun, c.clock(), id, pc, uops)
 }
 
 // finishAligned deposits the pending frame, preferring to cut it at the
@@ -395,6 +405,7 @@ func (c *Constructor) finishAligned() {
 	}
 	if len(f.UOps) < c.cfg.MinUOps {
 		c.DroppedSmall++
+		PutFrame(f)
 		return
 	}
 	cutInst := -1
@@ -430,6 +441,7 @@ func (c *Constructor) finish() {
 	}
 	if len(f.UOps) < c.cfg.MinUOps {
 		c.DroppedSmall++
+		PutFrame(f)
 		return
 	}
 	f.ExitPC = c.lastNext

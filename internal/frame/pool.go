@@ -1,0 +1,57 @@
+package frame
+
+import (
+	"sync"
+
+	"repro/internal/uop"
+)
+
+// Frame pooling. The constructor allocates a Frame — and grows seven
+// slices — for every pending region it opens, and most of those frames
+// die young: dropped below the size minimum, displaced by a cached
+// fetch, deduplicated against an already-cached region, or evicted
+// from the frame cache. Recycling the shells plus their slice backings
+// removes the dominant allocation source on the frame-construction hot
+// path. The µop body itself cycles through the shared buffer pool in
+// internal/uop; the auxiliary per-µop and per-instruction slices ride
+// along with the shell.
+//
+// Ownership discipline (the -race suite pins it): PutFrame requires
+// the caller to hold the frame's only live reference. Two cases
+// therefore never recycle:
+//
+//   - a frame handed to a Deposit callback or DepositHook that may
+//     retain it (engines only recycle when no hook is attached);
+//   - the donor of a Truncate, whose slices alias the surviving
+//     truncated frame — the donor is simply left to the GC.
+var framePool = sync.Pool{
+	New: func() any { return new(Frame) },
+}
+
+// getFrame returns an empty frame with recycled slice capacity.
+func getFrame() *Frame {
+	f := framePool.Get().(*Frame)
+	f.UOps = uop.GetBuf()
+	return f
+}
+
+// PutFrame recycles a frame the caller exclusively owns. All content
+// is cleared here (not in getFrame), so a pooled frame is ready to
+// hand out immediately.
+func PutFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	f.ID = 0
+	f.StartPC, f.ExitPC = 0, 0
+	f.NumX86 = 0
+	uop.PutBuf(f.UOps)
+	f.UOps = nil
+	f.InstIdx = f.InstIdx[:0]
+	f.MemSub = f.MemSub[:0]
+	f.PCs = f.PCs[:0]
+	f.NextPCs = f.NextPCs[:0]
+	f.MemAddr = f.MemAddr[:0]
+	f.BlockEnd = f.BlockEnd[:0]
+	framePool.Put(f)
+}

@@ -7,6 +7,7 @@ package opt
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/frame"
 	"repro/internal/uop"
@@ -153,18 +154,43 @@ type OptFrame struct {
 	Source *frame.Frame
 }
 
+// optFramePool recycles renamed frames between Remap and PutOptFrame.
+// The Ops buffer is the optimizer's dominant allocation (one FrameOp
+// per µop of every constructed frame); Remap overwrites every element
+// it uses, so a recycled buffer needs no clearing.
+var optFramePool = sync.Pool{
+	New: func() any { return new(OptFrame) },
+}
+
+// PutOptFrame recycles a renamed frame the caller exclusively owns
+// (typically on frame-cache eviction). The Source frame is NOT
+// recycled here — its ownership is the caller's to settle separately.
+func PutOptFrame(of *OptFrame) {
+	if of == nil {
+		return
+	}
+	of.Source = nil
+	of.Ops = of.Ops[:0]
+	of.Order = of.Order[:0]
+	of.UnsafeGuards = of.UnsafeGuards[:0]
+	optFramePool.Put(of)
+}
+
 // Remap renders a constructed frame into renamed form at the given scope:
 // the paper's Remapper stage. Each micro-op's destination becomes its
 // buffer index; sources become live-in or producer references; live-out
 // marks are computed against the scope's exit points.
 func Remap(f *frame.Frame, scope Scope) *OptFrame {
-	of := &OptFrame{
-		StartPC: f.StartPC,
-		ExitPC:  f.ExitPC,
-		NumX86:  f.NumX86,
-		Scope:   scope,
-		Source:  f,
-		Ops:     make([]FrameOp, len(f.UOps)),
+	of := optFramePool.Get().(*OptFrame)
+	of.StartPC = f.StartPC
+	of.ExitPC = f.ExitPC
+	of.NumX86 = f.NumX86
+	of.Scope = scope
+	of.Source = f
+	if n := len(f.UOps); cap(of.Ops) >= n {
+		of.Ops = of.Ops[:n]
+	} else {
+		of.Ops = make([]FrameOp, n)
 	}
 
 	// last[r] is the current in-frame producer of architectural register

@@ -39,8 +39,12 @@ type Engine struct {
 	mode Mode
 	src  Stream
 
-	// Stream lookahead and assertion-replay pushback.
-	pending []Slot
+	// Stream lookahead and assertion-replay pushback, kept as a
+	// head-indexed deque: consumption advances pendingLo instead of
+	// re-slicing, so the backing array is reused instead of reallocated
+	// every few fetch groups.
+	pending   []Slot
+	pendingLo int
 
 	cycle uint64
 	stats Stats
@@ -107,6 +111,17 @@ type Engine struct {
 	// trace is being assembled for this run.
 	passRec opt.TimedPassRecorder
 
+	// fetchFrame scratch, reused across fetches (the engine is
+	// single-goroutine, and everything that outlives a fetch — pushback,
+	// RetireFrame — copies out of these buffers before returning).
+	scratchSlots []Slot
+	scratchVals  []uint64
+	scratchAddrs []uint32
+	// activeSrc is the frame being fetched right now; cache-eviction
+	// recycling skips it (an Invalidate mid-fetch must not release
+	// buffers the fetch is still reading).
+	activeSrc *frame.Frame
+
 	// MispredictHook, when set, is called on every misprediction-style
 	// fetch stall (diagnostics).
 	MispredictHook func(pc uint32, kind string)
@@ -151,6 +166,7 @@ func New(cfg Config, mode Mode, src Stream) *Engine {
 	switch mode {
 	case ModeRePLay, ModeRePLayOpt:
 		e.frames = cache.NewUOpCache[*opt.OptFrame](cfg.FrameCacheUOps)
+		e.frames.Recycle = e.recycleFrame
 		e.optSlots = make([]uint64, cfg.OptPipeDepth)
 		e.growCap = make(map[uint32]int)
 		e.abortRuns = make(map[uint32]int)
@@ -160,6 +176,22 @@ func New(cfg Config, mode Mode, src Stream) *Engine {
 		e.fill = &traceFill{}
 	}
 	return e
+}
+
+// recycleFrame returns a displaced frame-cache entry's buffers to their
+// pools (the cache's Recycle hook: capacity eviction, same-PC
+// replacement, and invalidation). Recycling is skipped when a
+// DepositHook is attached — the hook may have retained the source frame
+// — and for the frame currently being fetched, which an Invalidate or
+// replacement can displace while the fetch still reads it; that one
+// pair is left to the garbage collector.
+func (e *Engine) recycleFrame(of *opt.OptFrame) {
+	if e.DepositHook != nil || of == nil || of.Source == e.activeSrc {
+		return
+	}
+	src := of.Source
+	opt.PutOptFrame(of)
+	frame.PutFrame(src)
 }
 
 // snapshotStats copies the full running totals, including the clock and
@@ -193,9 +225,14 @@ func (e *Engine) ResetStats() {
 
 // next consumes the next correct-path instruction.
 func (e *Engine) next() (Slot, bool) {
-	if len(e.pending) > 0 {
-		s := e.pending[0]
-		e.pending = e.pending[1:]
+	if e.pendingLo < len(e.pending) {
+		s := e.pending[e.pendingLo]
+		e.pendingLo++
+		if e.pendingLo == len(e.pending) {
+			// Drained: rewind so the backing array is reused.
+			e.pending = e.pending[:0]
+			e.pendingLo = 0
+		}
 		return s, true
 	}
 	return e.src.Next()
@@ -203,8 +240,8 @@ func (e *Engine) next() (Slot, bool) {
 
 // peek returns the next instruction without consuming it.
 func (e *Engine) peek() (Slot, bool) {
-	if len(e.pending) > 0 {
-		return e.pending[0], true
+	if e.pendingLo < len(e.pending) {
+		return e.pending[e.pendingLo], true
 	}
 	s, ok := e.src.Next()
 	if !ok {
@@ -214,17 +251,39 @@ func (e *Engine) peek() (Slot, bool) {
 	return s, true
 }
 
-// pushback re-queues slots for re-execution (assertion recovery).
+// pushback re-queues slots for re-execution (assertion recovery). The
+// slots are copied, so callers may reuse their buffer afterwards.
 func (e *Engine) pushback(slots []Slot) {
-	e.pending = append(append([]Slot{}, slots...), e.pending...)
+	if len(slots) == 0 {
+		return
+	}
+	if e.pendingLo >= len(slots) {
+		// Room in the consumed prefix: slide the slots back in place.
+		e.pendingLo -= len(slots)
+		copy(e.pending[e.pendingLo:], slots)
+		return
+	}
+	rest := len(e.pending) - e.pendingLo
+	need := len(slots) + rest
+	if cap(e.pending) < need {
+		np := make([]Slot, need, need+2*len(slots))
+		copy(np, slots)
+		copy(np[len(slots):], e.pending[e.pendingLo:])
+		e.pending, e.pendingLo = np, 0
+		return
+	}
+	e.pending = e.pending[:need]
+	copy(e.pending[len(slots):], e.pending[e.pendingLo:e.pendingLo+rest])
+	copy(e.pending, slots)
+	e.pendingLo = 0
 }
 
-// stallUntil advances the clock to t, charging each idle fetch cycle to
-// the bin.
+// stallUntil advances the clock to t, charging the idle fetch cycles to
+// the bin in one step.
 func (e *Engine) stallUntil(t uint64, bin Bin) {
-	for e.cycle < t {
-		e.stats.Bins[bin]++
-		e.cycle++
+	if t > e.cycle {
+		e.stats.Bins[bin] += t - e.cycle
+		e.cycle = t
 	}
 }
 
@@ -240,7 +299,10 @@ func (e *Engine) popRetired() {
 		e.inflightLo++
 	}
 	if e.inflightLo > 4096 && e.inflightLo*2 > len(e.inflight) {
-		e.inflight = append([]uint64{}, e.inflight[e.inflightLo:]...)
+		// Compact in place: the live suffix slides to the front, keeping
+		// the backing array instead of reallocating it every window.
+		n := copy(e.inflight, e.inflight[e.inflightLo:])
+		e.inflight = e.inflight[:n]
 		e.inflightLo = 0
 	}
 }

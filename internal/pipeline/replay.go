@@ -18,12 +18,20 @@ func (e *Engine) depositFrame(f *frame.Frame) {
 	}
 	// Skip when a comparable frame is already cached or in flight; a
 	// replacement must grow the frame substantially (50%) to be worth
-	// another pass through the optimization engine.
+	// another pass through the optimization engine. Deposit transferred
+	// ownership, so dropped frames are recycled (unless a DepositHook
+	// may have retained them).
 	if ex, ok := e.frames.Lookup(f.StartPC); ok && f.NumX86 < ex.Source.NumX86+ex.Source.NumX86/2 {
+		if e.DepositHook == nil {
+			frame.PutFrame(f)
+		}
 		return
 	}
 	for _, p := range e.optPending {
 		if p.of.StartPC == f.StartPC && f.NumX86 < p.of.Source.NumX86+p.of.Source.NumX86/2 {
+			if e.DepositHook == nil {
+				frame.PutFrame(f)
+			}
 			return
 		}
 	}
@@ -48,10 +56,16 @@ func (e *Engine) depositFrame(f *frame.Frame) {
 	// buffer is full (the paper's policy for a busy optimizer).
 	if len(e.optQueue) >= optQueueDepth {
 		e.stats.FramesDropped++
+		if e.DepositHook == nil {
+			frame.PutFrame(f)
+		}
 		return
 	}
 	for _, q := range e.optQueue {
 		if q.StartPC == f.StartPC && f.NumX86 < q.NumX86+q.NumX86/2 {
+			if e.DepositHook == nil {
+				frame.PutFrame(f)
+			}
 			return
 		}
 	}
@@ -140,9 +154,18 @@ func (e *Engine) drainOptimizer() {
 // to retire).
 func (e *Engine) fetchFrame(of *opt.OptFrame) {
 	src := of.Source
+	// Guard the fetched frame against mid-fetch recycling: the abort
+	// path's Invalidate and the commit path's RetireFrame (which can
+	// re-deposit and displace this very cache entry) both reach the
+	// cache's Recycle hook while this fetch still reads of and src.
+	e.activeSrc = src
+	defer func() { e.activeSrc = nil }()
 
 	// Consume correct-path slots along the frame's construction path.
-	consumed := make([]Slot, 0, src.NumX86)
+	// The slot buffer is fetch-local scratch: pushback copies out of it,
+	// and nothing else retains it past the fetch.
+	consumed := e.scratchSlots[:0]
+	defer func() { e.scratchSlots = consumed[:0] }()
 	diverged := false
 	for k := 0; k < src.NumX86; k++ {
 		s, ok := e.peek()
@@ -168,9 +191,15 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 	fetchStart := e.cycle
 	savedArch := e.archReady
 
-	// Dispatch the frame body, Width micro-ops per fetch cycle.
+	// Dispatch the frame body, Width micro-ops per fetch cycle. The
+	// value scoreboard is engine scratch; Iterate skips invalid ops, so
+	// it is cleared to match a freshly allocated buffer.
 	n := len(of.Ops)
-	values := make([]uint64, n)
+	if cap(e.scratchVals) < n {
+		e.scratchVals = make([]uint64, n)
+	}
+	values := e.scratchVals[:n]
+	clear(values)
 	unsafeConflict := false
 	var maxDone uint64
 	fetched := 0
@@ -326,7 +355,12 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 	// the aliasing profile with this execution's addresses. The deposit
 	// filter (substantial-growth rule) bounds re-optimization churn.
 	if e.cons != nil {
-		fresh := make([]uint32, len(of.Ops))
+		// Scratch likewise; RetireFrame copies the addresses out.
+		if cap(e.scratchAddrs) < len(of.Ops) {
+			e.scratchAddrs = make([]uint32, len(of.Ops))
+		}
+		fresh := e.scratchAddrs[:len(of.Ops)]
+		clear(fresh)
 		for i := range of.Ops {
 			o := &of.Ops[i]
 			if o.MemSub >= 0 {

@@ -27,16 +27,21 @@ type serviceMetrics struct {
 }
 
 // observeExec folds one completed execution into the moving average.
-// Races between concurrent workers can drop an update; the EWMA is a
-// load hint, not an accounting counter, so that is acceptable.
+// The read-modify-write retries on contention, so concurrent workers
+// never drop each other's updates.
 func (m *serviceMetrics) observeExec(seconds float64) {
 	const alpha = 0.3
-	prev := math.Float64frombits(m.execEWMA.Load())
-	next := seconds
-	if prev > 0 {
-		next = alpha*seconds + (1-alpha)*prev
+	for {
+		old := m.execEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := seconds
+		if prev > 0 {
+			next = alpha*seconds + (1-alpha)*prev
+		}
+		if m.execEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
 	}
-	m.execEWMA.Store(math.Float64bits(next))
 }
 
 // avgExecSeconds returns the current execution-time estimate (0 before

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestObserveExecConcurrent: the EWMA applies every concurrent update
+// exactly once. All workers observe the same value, so the updates
+// commute and the final average is exactly the serial composition —
+// any lost update under the old load/store race would fall short.
+func TestObserveExecConcurrent(t *testing.T) {
+	const workers = 64
+	var m serviceMetrics
+	m.execEWMA.Store(math.Float64bits(1.0))
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.observeExec(2.0)
+		}()
+	}
+	wg.Wait()
+
+	want := 1.0
+	for i := 0; i < workers; i++ {
+		want = 0.3*2.0 + 0.7*want
+	}
+	if got := m.avgExecSeconds(); got != want {
+		t.Errorf("EWMA after %d concurrent updates = %v, want exactly %v (updates dropped?)", workers, got, want)
+	}
+}
+
+// TestObserveExecSeed: the first observation seeds the average directly.
+func TestObserveExecSeed(t *testing.T) {
+	var m serviceMetrics
+	m.observeExec(4.0)
+	if got := m.avgExecSeconds(); got != 4.0 {
+		t.Errorf("first observation = %v, want 4.0", got)
+	}
+	m.observeExec(2.0)
+	if got, want := m.avgExecSeconds(), 0.3*2.0+0.7*4.0; got != want {
+		t.Errorf("second observation = %v, want %v", got, want)
+	}
+}

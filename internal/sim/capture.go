@@ -48,8 +48,7 @@ type recordedStream struct {
 	nextPCs  []uint32
 	memOff   []uint32 // prefix offsets into memAddrs; len = len(pcs)+1
 	memAddrs []uint32
-	insts    map[uint32]x86.Inst
-	uops     map[uint32][]uop.UOp
+	decoded  map[uint32]decodedInst
 	err      error // interpreter error hit at the end of the slots, if any
 	atEnd    bool  // the program genuinely ended (vs the capture bound)
 }
@@ -64,7 +63,8 @@ func (rec *recordedStream) slot(i int) pipeline.Slot {
 	if lo, hi := rec.memOff[i], rec.memOff[i+1]; hi > lo {
 		addrs = rec.memAddrs[lo:hi:hi]
 	}
-	return pipeline.Slot{PC: pc, Inst: rec.insts[pc], UOps: rec.uops[pc],
+	d := rec.decoded[pc]
+	return pipeline.Slot{PC: pc, Inst: d.in, UOps: d.uops,
 		NextPC: rec.nextPCs[i], MemAddrs: addrs}
 }
 
@@ -107,16 +107,15 @@ func (r *replayStream) Err() error {
 // captureRecorded drains the interpreter into a recording of at most max
 // slots. An interpreter error is stored positionally: a replay only
 // surfaces it if the engine actually consumes that far, exactly like a
-// live run. The decode/translation maps are taken over from the
-// interpreter stream, so every replayed slot shares them.
+// live run. The decode/translation map is taken over from the
+// interpreter stream, so every replayed slot shares it.
 func captureRecorded(prog *workload.Program, max int) *recordedStream {
 	src := newCPUStream(prog)
 	rec := &recordedStream{
 		pcs:     make([]uint32, 0, max),
 		nextPCs: make([]uint32, 0, max),
 		memOff:  make([]uint32, 1, max+1),
-		insts:   src.insts,
-		uops:    src.uops,
+		decoded: src.decoded,
 	}
 	for len(rec.pcs) < max {
 		s, ok := src.Next()
@@ -167,9 +166,8 @@ type captureEntry struct {
 // constants (an x86.Inst is ~48 bytes, a uop.UOp ~24).
 func (rec *recordedStream) sizeBytes() int64 {
 	b := int64(4 * (len(rec.pcs) + len(rec.nextPCs) + len(rec.memOff) + len(rec.memAddrs)))
-	b += int64(len(rec.insts)) * 48
-	for _, us := range rec.uops {
-		b += int64(len(us)) * 24
+	for _, d := range rec.decoded {
+		b += 48 + int64(len(d.uops))*24
 	}
 	return b
 }
@@ -355,8 +353,7 @@ func NewSlotStream(slots []pipeline.Slot) pipeline.Stream {
 		pcs:     make([]uint32, 0, len(slots)),
 		nextPCs: make([]uint32, 0, len(slots)),
 		memOff:  make([]uint32, 1, len(slots)+1),
-		insts:   make(map[uint32]x86.Inst, 256),
-		uops:    make(map[uint32][]uop.UOp, 256),
+		decoded: make(map[uint32]decodedInst, 256),
 		atEnd:   true,
 	}
 	for i := range slots {
@@ -365,8 +362,7 @@ func NewSlotStream(slots []pipeline.Slot) pipeline.Stream {
 		rec.nextPCs = append(rec.nextPCs, s.NextPC)
 		rec.memAddrs = append(rec.memAddrs, s.MemAddrs...)
 		rec.memOff = append(rec.memOff, uint32(len(rec.memAddrs)))
-		rec.insts[s.PC] = s.Inst
-		rec.uops[s.PC] = s.UOps
+		rec.decoded[s.PC] = decodedInst{in: s.Inst, uops: s.UOps}
 	}
 	return &replayStream{rec: rec}
 }

@@ -6,10 +6,9 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/pipeline"
@@ -21,20 +20,37 @@ import (
 	"repro/internal/x86"
 )
 
+// decodedInst is a per-PC decode-and-translation cache entry: one map
+// lookup on the stepping hot path instead of the two that separate
+// inst/µop maps cost.
+type decodedInst struct {
+	in   x86.Inst
+	uops []uop.UOp
+}
+
+// addrChunk is the arena-chunk size for per-slot memory addresses: one
+// allocation per ~16k addresses instead of one per memory instruction.
+const addrChunk = 16 << 10
+
+// maxSlotMemOps bounds the memory transactions a single instruction can
+// issue (a load-op-store plus stack traffic stays well under this); a
+// fresh arena chunk starts when less than this much room remains, so a
+// slot's addresses never straddle chunks.
+const maxSlotMemOps = 8
+
 // cpuStream adapts the functional interpreter to the timing model's
 // correct-path instruction stream (the Micro-Op Injector).
 type cpuStream struct {
-	c     *cpu.CPU
-	insts map[uint32]x86.Inst
-	uops  map[uint32][]uop.UOp
-	err   error
+	c       *cpu.CPU
+	decoded map[uint32]decodedInst
+	addrs   []uint32 // current arena chunk for slot MemAddrs
+	err     error
 }
 
 func newCPUStream(prog *workload.Program) *cpuStream {
 	return &cpuStream{
-		c:     prog.NewCPU(),
-		insts: make(map[uint32]x86.Inst),
-		uops:  make(map[uint32][]uop.UOp),
+		c:       prog.NewCPU(),
+		decoded: make(map[uint32]decodedInst),
 	}
 }
 
@@ -44,43 +60,43 @@ func (s *cpuStream) Next() (pipeline.Slot, bool) {
 		return pipeline.Slot{}, false
 	}
 	pc := s.c.PC
-	in, ok := s.insts[pc]
-	var us []uop.UOp
-	if ok {
-		us = s.uops[pc]
-	} else {
-		var err error
-		in, err = x86.Decode(s.c.Mem.ReadBytes(pc, 15))
+	d, ok := s.decoded[pc]
+	if !ok {
+		in, err := x86.Decode(s.c.Mem.ReadBytes(pc, 15))
 		if err != nil {
 			s.err = err
 			return pipeline.Slot{}, false
 		}
-		us, err = translate.UOps(in, pc)
+		us, err := translate.UOps(in, pc)
 		if err != nil {
 			s.err = err
 			return pipeline.Slot{}, false
 		}
-		s.insts[pc] = in
-		s.uops[pc] = us
+		d = decodedInst{in: in, uops: us}
+		s.decoded[pc] = d
 	}
-	if in.Op == x86.OpHLT {
+	if d.in.Op == x86.OpHLT {
 		return pipeline.Slot{}, false
 	}
-	rec, err := s.c.Step()
+	if cap(s.addrs)-len(s.addrs) < maxSlotMemOps {
+		s.addrs = make([]uint32, 0, addrChunk)
+	}
+	base := len(s.addrs)
+	grown, nextPC, err := s.c.StepAddrs(s.addrs)
 	if err != nil {
 		s.err = err
 		return pipeline.Slot{}, false
 	}
+	s.addrs = grown
 	// nil (not empty) when the instruction touches no memory, so slots
-	// round-trip exactly through the on-disk slot-stream format.
+	// round-trip exactly through the on-disk slot-stream format. The
+	// addresses alias the arena chunk, capacity-clipped; slots are
+	// read-only downstream.
 	var addrs []uint32
-	if len(rec.MemOps) > 0 {
-		addrs = make([]uint32, 0, len(rec.MemOps))
-		for _, m := range rec.MemOps {
-			addrs = append(addrs, m.Addr)
-		}
+	if n := len(grown); n > base {
+		addrs = grown[base:n:n]
 	}
-	return pipeline.Slot{PC: pc, Inst: in, UOps: us, NextPC: rec.NextPC, MemAddrs: addrs}, true
+	return pipeline.Slot{PC: pc, Inst: d.in, UOps: d.uops, NextPC: nextPC, MemAddrs: addrs}, true
 }
 
 // Options configures a run beyond the processor mode.
@@ -181,14 +197,27 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		}
 	}
 
-	for t := 0; t < p.Traces; t++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
+	// Multi-trace profiles fan their traces out across the global CPU
+	// semaphore; aggregation stays in trace-index order, so the result
+	// is bit-identical to the serial loop. Telemetry and span-traced
+	// runs keep the serial path: both attach per-engine observers whose
+	// event interleaving is part of their output.
+	if p.Traces > 1 && o.Telemetry == nil && span == nil {
+		if err := runTracesParallel(ctx, &res, p, mode, cfg, o, budget, warmFrac); err != nil {
+			return res, err
+		}
+	} else {
+		for t := 0; t < p.Traces; t++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
+			st, err := runTraceStats(ctx, p, mode, cfg, o, budget, warmFrac, t)
+			if err != nil {
 				return res, err
 			}
-		}
-		if err := runTrace(ctx, &res, p, mode, cfg, o, budget, warmFrac, t); err != nil {
-			return res, err
+			res.Stats.Add(&st)
 		}
 	}
 	recordRun(&res.Stats)
@@ -201,23 +230,105 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 	return res, nil
 }
 
-// runTrace simulates one hot-spot trace: warmup window, telemetry
+// runTracesParallel runs every trace of the profile concurrently, each
+// on its own engine over its own stream. Workers are spawned only while
+// the global semaphore has free tokens (TryAcquire — a nested fan-out
+// never blocks holding a token, which is what makes two-level
+// parallelism deadlock-free); the calling goroutine always works too,
+// so progress never depends on a token being free. Per-trace stats are
+// combined in trace-index order after all traces finish: integer
+// counters added in a fixed order make the aggregate bit-identical to
+// the serial loop's.
+func runTracesParallel(ctx context.Context, res *Result, p workload.Profile, mode pipeline.Mode,
+	cfg pipeline.Config, o Options, budget int, warmFrac float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	stats := make([]pipeline.Stats, p.Traces)
+	errs := make([]error, p.Traces)
+	var next atomic.Int64
+	work := func() {
+		for ctx.Err() == nil {
+			t := int(next.Add(1)) - 1
+			if t >= p.Traces {
+				return
+			}
+			st, err := runTraceStats(ctx, p, mode, cfg, o, budget, warmFrac, t)
+			stats[t], errs[t] = st, err
+			if err != nil {
+				cancel() // abort the remaining traces
+			}
+		}
+	}
+
+	sem := acquireSem()
+	var wg sync.WaitGroup
+	for w := 1; w < p.Traces && sem.TryAcquire(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sem.Release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+
+	if err := jobsError(errs, parent); err != nil {
+		return err
+	}
+	for t := range stats {
+		res.Stats.Add(&stats[t])
+	}
+	return nil
+}
+
+// jobsError selects the deterministic error for a completed fan-out:
+// the failure of the earliest job by index. An error that is exactly
+// context.Canceled is the induced abort of a failing sibling (our
+// cancel tearing down in-flight jobs), never the root cause, so it is
+// reported only when the caller's own context was cancelled or nothing
+// better exists. An error that merely wraps context.Canceled, by
+// contrast, is a real failure that absorbed a cancellation somewhere
+// in its chain and must not be skipped.
+func jobsError(errs []error, parent context.Context) error {
+	var induced error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case err != context.Canceled:
+			return err
+		case induced == nil:
+			induced = err
+		}
+	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return induced
+}
+
+// runTraceStats simulates one hot-spot trace: warmup window, telemetry
 // attach, measured window. When the context carries an active span the
 // two windows get child spans and the measured window additionally
 // aggregates per-optimizer-pass wall time into opt.<pass> spans.
-func runTrace(ctx context.Context, res *Result, p workload.Profile, mode pipeline.Mode,
-	cfg pipeline.Config, o Options, budget int, warmFrac float64, t int) error {
+func runTraceStats(ctx context.Context, p workload.Profile, mode pipeline.Mode,
+	cfg pipeline.Config, o Options, budget int, warmFrac float64, t int) (pipeline.Stats, error) {
 	var stream slotSource
 	if o.DisableCache {
 		prog, err := workload.Generate(p, t)
 		if err != nil {
-			return err
+			return pipeline.Stats{}, err
 		}
 		stream = newCPUStream(prog)
 	} else {
 		rec, err := captures.get(p, t, budget)
 		if err != nil {
-			return err
+			return pipeline.Stats{}, err
 		}
 		stream = &replayStream{rec: rec}
 	}
@@ -229,7 +340,7 @@ func runTrace(ctx context.Context, res *Result, p workload.Profile, mode pipelin
 	_, err := eng.RunContext(wctx, warm)
 	wspan.End()
 	if err != nil {
-		return err
+		return pipeline.Stats{}, err
 	}
 	// Telemetry attaches after warmup, so events, histograms, and
 	// per-pass attribution cover exactly the measured window — the
@@ -260,12 +371,10 @@ func runTrace(ctx context.Context, res *Result, p workload.Profile, mode pipelin
 	mspan.SetError(err)
 	mspan.End()
 	if err != nil {
-		return err
+		return pipeline.Stats{}, err
 	}
 	eng.CloseTelemetry()
-	s := eng.Stats()
-	res.Stats.Add(&s)
-	return nil
+	return eng.Stats(), nil
 }
 
 // runJob is one (workload, mode, options) simulation request.
@@ -277,33 +386,37 @@ type runJob struct {
 	err     *error
 }
 
-// runAll executes jobs in parallel across CPUs. The semaphore is
-// acquired before each goroutine spawns, so a long job list never
-// materializes more goroutines than can run; the first failure (or a
-// cancelled ctx) stops dispatching and cancels the jobs already in
-// flight. The error returned is deterministic: the failure of the
-// earliest job by index, or ctx's error if dispatch was cut short with
-// no job of its own failing.
+// runAll executes jobs in parallel under the process-global CPU
+// semaphore, so nested and concurrent sweeps compose to the machine's
+// parallelism instead of multiplying it. A token is acquired before
+// each goroutine spawns, so a long job list never materializes more
+// goroutines than can run; the first failure (or a cancelled ctx)
+// stops dispatching and cancels the jobs already in flight.
+//
+// The error returned is deterministic: the failure of the earliest
+// job by index. A job error that is exactly context.Canceled is the
+// induced abort of a failing sibling, not a root cause, and is
+// reported only when nothing better exists; an error that merely
+// wraps context.Canceled is a real failure that absorbed a
+// cancellation somewhere in its chain and is never skipped.
 func runAll(ctx context.Context, jobs []runJob) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	sem := make(chan struct{}, runtime.NumCPU())
+	sem := acquireSem()
 	var wg sync.WaitGroup
-dispatch:
 	for i := range jobs {
-		select {
-		case <-ctx.Done():
-			break dispatch
-		case sem <- struct{}{}:
+		if sem.Acquire(ctx) != nil {
+			break // cancelled: stop dispatching
 		}
 		wg.Add(1)
 		go func(j *runJob) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer sem.Release()
 			r, err := RunWorkload(ctx, j.profile, j.mode, j.opts)
 			*j.out = r
 			*j.err = err
@@ -313,20 +426,10 @@ dispatch:
 		}(&jobs[i])
 	}
 	wg.Wait()
+
+	errs := make([]error, len(jobs))
 	for i := range jobs {
-		if err := *jobs[i].err; err != nil && !errors.Is(err, context.Canceled) {
-			return err
-		}
+		errs[i] = *jobs[i].err
 	}
-	if err := ctx.Err(); err != nil {
-		// Either the caller's ctx was cancelled or a job failed with
-		// context.Canceled itself; surface whichever error remains.
-		for i := range jobs {
-			if *jobs[i].err != nil {
-				return *jobs[i].err
-			}
-		}
-		return err
-	}
-	return nil
+	return jobsError(errs, parent)
 }

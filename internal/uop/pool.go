@@ -1,0 +1,45 @@
+package uop
+
+import "sync"
+
+// Micro-op buffer pooling. Frame construction churns through []UOp
+// bodies at a rate that dominates the simulator's allocation profile
+// (every pending frame grows one, and most pending frames are dropped
+// below the size minimum or replaced). The pool recycles those buffers
+// across frames and across engines, so steady-state construction stops
+// allocating altogether.
+//
+// Ownership discipline (enforced by callers, checked by the -race
+// suite): a buffer passed to PutBuf must have no other live reference —
+// in particular, a buffer whose frame escaped to a Deposit callback or
+// was aliased by Frame.Truncate stays with its new owner and is never
+// returned here.
+
+// bufCap is the capacity of pooled micro-op buffers: the paper's
+// maximum frame size, so a recycled buffer never regrows during
+// construction.
+const bufCap = 256
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]UOp, 0, bufCap)
+		return &b
+	},
+}
+
+// GetBuf returns an empty micro-op buffer with pooled capacity.
+func GetBuf() []UOp {
+	return (*(bufPool.Get().(*[]UOp)))[:0]
+}
+
+// PutBuf recycles a micro-op buffer. The caller must hold the only
+// reference. Undersized buffers (capacity-clipped by a Truncate alias)
+// are dropped rather than pooled, so pool hits always carry full
+// capacity.
+func PutBuf(b []UOp) {
+	if cap(b) < bufCap {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

@@ -7,10 +7,17 @@
 //
 //	replayctl -experiment fig6 [-workloads a,b] [-insts N] [-mode RPO]
 //	          [-n 8] [-async] [-json] [-job-trace out.json]
+//	replayctl -upload trace.xut
+//	replayctl -run-trace <id> [-mode RPO] [-insts N]
 //	replayctl -watch job-000001
 //	replayctl -metrics [-raw]
 //	replayctl -traces
 //	replayctl -trace 0af7651916cd43dd8448eb211c80319c
+//
+// -upload sends an external uop-trace file (tracegen -export) to the
+// daemon's POST /v1/traces spool and prints its content-addressed ID;
+// -run-trace simulates a spooled trace by that ID through the normal
+// job queue (coalescing, memoization, and -n/-async/-json all apply).
 //
 // Every request carries a fresh W3C traceparent header, so the daemon's
 // span trace continues from a client root; the job line prints the
@@ -63,6 +70,8 @@ func main() {
 	traceOut := flag.String("job-trace", "", "request a frame-lifecycle trace and save the Chrome trace_event JSON to this file")
 	traceID := flag.String("trace", "", "fetch one span trace by ID from /debug/traces and print its flame view (-json for the raw spans)")
 	traces := flag.Bool("traces", false, "list the span traces kept by the daemon's tail sampler and exit")
+	upload := flag.String("upload", "", "upload an external uop-trace file to the daemon's spool and exit")
+	runTrace := flag.String("run-trace", "", "run a spooled external trace by content ID")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
 	flag.Parse()
 
@@ -70,6 +79,20 @@ func main() {
 	base := strings.TrimRight(*addr, "/")
 
 	switch {
+	case *upload != "":
+		if err := uploadTrace(client, base, *upload, *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *runTrace != "":
+		req := api.RunRequest{
+			XTrace:     *runTrace,
+			Mode:       *mode,
+			Insts:      *insts,
+			WarmupFrac: *warmup,
+		}
+		if err := run(client, base, req, *n, *async, *jsonOut, ""); err != nil {
+			fatal(err)
+		}
 	case *traces:
 		if err := listTraces(client, base); err != nil {
 			fatal(err)
@@ -188,6 +211,63 @@ func printMetrics(r io.Reader, w io.Writer) error {
 				label, b.Exemplar.TraceID, b.Exemplar.Value)
 		}
 	}
+	return nil
+}
+
+// uploadTrace streams one external trace file to POST /v1/traces and
+// prints the spool's view of it. Rejections surface the daemon's
+// structured error (kind, limit) rather than a bare status line.
+func uploadTrace(client *http.Client, base, path string, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	resp, err := client.Post(base+"/v1/traces", "application/octet-stream", f)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		var e struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+			Limit int64  `json:"limit_bytes"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			if e.Limit > 0 {
+				return fmt.Errorf("%s: %s (%s, limit %d bytes)", resp.Status, e.Error, e.Kind, e.Limit)
+			}
+			return fmt.Errorf("%s: %s (%s)", resp.Status, e.Error, e.Kind)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	if jsonOut {
+		os.Stdout.Write(append(bytes.TrimSpace(b), '\n'))
+		return nil
+	}
+	var info struct {
+		ID        string `json:"id"`
+		Name      string `json:"name"`
+		Records   uint64 `json:"records"`
+		Insts     uint32 `json:"insts"`
+		Bytes     int64  `json:"bytes"`
+		Duplicate bool   `json:"duplicate"`
+	}
+	if err := json.Unmarshal(b, &info); err != nil {
+		return fmt.Errorf("decoding upload response: %w", err)
+	}
+	verb := "uploaded"
+	if info.Duplicate {
+		verb = "already spooled"
+	}
+	fmt.Printf("%s %s: id %s (%d records, %d insts, %d bytes)\n",
+		verb, path, info.ID, info.Records, info.Insts, info.Bytes)
+	fmt.Printf("run it with: replayctl -run-trace %s\n", info.ID)
 	return nil
 }
 

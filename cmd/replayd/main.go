@@ -8,6 +8,7 @@
 //	        [-memo-entries N] [-capture-entries N] [-capture-bytes N]
 //	        [-drain-timeout 30s] [-pprof addr] [-trace-events N]
 //	        [-trace-store N] [-trace-slow 1s] [-trace-sample 1.0]
+//	        [-spool-dir DIR] [-spool-bytes N] [-max-upload N]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //
 // Every job lifecycle line (accepted, coalesced, started, finished,
@@ -25,7 +26,11 @@
 // Endpoints:
 //
 //	POST /v1/run             run an experiment, wait for the result
+//	                         (?trace=<id> runs a spooled external trace)
 //	POST /v1/jobs            enqueue asynchronously, returns the job
+//	POST /v1/traces          upload an external uop trace into the spool
+//	GET  /v1/traces          list spooled traces and occupancy
+//	GET  /v1/traces/{id}      describe one spooled trace
 //	GET  /v1/jobs            list jobs
 //	GET  /v1/jobs/{id}        job status and result
 //	GET  /v1/jobs/{id}/events NDJSON progress stream
@@ -38,6 +43,12 @@
 //	GET  /debug/traces       span traces kept by the tail sampler
 //	GET  /debug/traces/{id}  one trace (?format=json|chrome|text)
 //	GET  /healthz            liveness (503 while draining)
+//
+// The trace spool (external uop traces accepted at POST /v1/traces and
+// run via ?trace=<id> or the xtrace request field) lives under
+// -spool-dir, bounded by -spool-bytes with LRU eviction; -max-upload
+// caps one upload's body. -spool-dir "" disables the upload front end
+// (those endpoints answer 503).
 //
 // -pprof serves net/http/pprof on its own listener (for example
 // -pprof localhost:6060), kept off the public mux so profiling
@@ -53,6 +64,7 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -75,6 +87,10 @@ func main() {
 	traceStore := flag.Int("trace-store", 0, "span traces kept queryable at /debug/traces (0 = default 256)")
 	traceSlow := flag.Duration("trace-slow", 0, "tail sampler's slow-trace cutoff: traces at least this long are always kept (0 = default 1s)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a trace that is neither errored nor slow is kept (0 = keep all)")
+	spoolDir := flag.String("spool-dir", filepath.Join(os.TempDir(), "replayd-spool"),
+		"directory for uploaded external traces (empty disables the upload front end)")
+	spoolBytes := flag.Int64("spool-bytes", 0, "byte budget of the trace spool, LRU-evicted (0 = default 256 MiB)")
+	maxUpload := flag.Int64("max-upload", 0, "cap on one trace upload's body (0 = default 64 MiB)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
@@ -108,14 +124,17 @@ func main() {
 	}
 
 	core := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxInsts:    *maxInsts,
-		TraceEvents: *traceEvents,
-		TraceStore:  *traceStore,
-		TraceSlow:   *traceSlow,
-		TraceSample: *traceSample,
-		Logger:      logger,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxInsts:       *maxInsts,
+		TraceEvents:    *traceEvents,
+		TraceStore:     *traceStore,
+		TraceSlow:      *traceSlow,
+		TraceSample:    *traceSample,
+		SpoolDir:       *spoolDir,
+		SpoolBytes:     *spoolBytes,
+		MaxUploadBytes: *maxUpload,
+		Logger:         logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: core.Handler()}
 

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	replaysim -experiment fig6 [-insts N] [-workloads a,b,c]
+//	replaysim -load trace.xut [-mode RPO] [-insts N] [-json]
 //
 // Experiments: table1, table2, fig6, fig7, fig8, table3, fig9, fig10,
 // summary (a compact calibration view), attr (per-pass optimization
 // attribution), all.
+//
+// -load replays an external uop trace (tracegen -export, binary or
+// NDJSON, auto-detected) through one processor mode and prints the
+// cell; with -json the output is the replayd wire format, so a loaded
+// file and an uploaded trace report identically.
 //
 // -attr appends the attribution table to any experiment; -trace out.json
 // records frame-lifecycle events as Chrome trace_event JSON (open in
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,12 +36,16 @@ import (
 	"repro/internal/api"
 	"repro/internal/logflag"
 	"repro/internal/pipeline"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/xtrace"
 )
 
 func main() {
 	experiment := flag.String("experiment", "summary", "which experiment to run")
+	load := flag.String("load", "", "replay an external uop trace file instead of running an experiment")
+	mode := flag.String("mode", "RPO", "processor mode for -load: IC, TC, RP or RPO")
 	insts := flag.Int("insts", 0, "override the per-trace x86 instruction budget")
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
 	cache := flag.Bool("cache", true,
@@ -57,6 +68,14 @@ func main() {
 		os.Exit(1)
 	}
 	slog.SetDefault(logger)
+
+	if *load != "" {
+		if err := loadAndRun(*load, *mode, *insts, !*cache, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "replaysim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := repro.ExpOptions{InstructionBudget: *insts, DisableCache: !*cache}
 	if *workloads != "" {
@@ -121,6 +140,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "replaysim:", err)
 		os.Exit(1)
 	}
+}
+
+// loadAndRun decodes an external uop trace and simulates it through one
+// processor mode, printing a single cell in either the table or the
+// replayd wire format. The run memoizes on the trace's content ID, so
+// re-running the same file under the same configuration is free.
+func loadAndRun(path, modeName string, insts int, noCache, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	xt, err := xtrace.Decode(f, xtrace.Limits{})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	slots, err := xt.Slots()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	mode, err := api.ParseMode(modeName)
+	if err != nil {
+		return err
+	}
+	name := xt.Header.Name
+	if name == "" {
+		name = path
+	}
+	res, err := sim.RunExternal(context.Background(), sim.ExternalRun{
+		Name:        name,
+		Fingerprint: xtrace.TraceID(xt),
+		Slots:       slots,
+		Insts:       int(xt.Header.Insts),
+	}, mode, sim.Options{MaxInsts: insts, DisableCache: noCache})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpCell, Cells: []api.Cell{{
+			Workload: res.Workload,
+			Class:    res.Class,
+			Mode:     mode.String(),
+			IPC:      res.IPC(),
+			Stats:    res.Stats,
+		}}})
+	}
+	fmt.Printf("== External trace %s (%s) ==\n", path, name)
+	t := stats.NewTable("Mode", "IPC", "Cycles", "x86 insts", "uops", "uops base", "mispred")
+	t.Row(mode.String(), fmt.Sprintf("%.3f", res.IPC()), res.Stats.Cycles,
+		res.Stats.X86Retired, res.Stats.UOpsRetired, res.Stats.UOpsBaseline,
+		res.Stats.Mispredicts)
+	t.Write(os.Stdout)
+	return nil
 }
 
 // writeTraceFile dumps the collector's event ring as Chrome trace_event

@@ -6,9 +6,15 @@
 //
 //	tracegen -workload bzip2 [-trace 0] [-insts N] [-o file]      generate
 //	tracegen -workload bzip2 [-trace 0] [-insts N] -slots file    capture retired slot stream
+//	tracegen -workload bzip2 [-insts N] -export file [-format f]  export a portable uop trace
 //	tracegen -stat file                                           summarize a trace file
 //	tracegen -slotstat file                                       summarize a slot-stream file
 //	tracegen -list                                                list workloads
+//
+// -export writes the versioned external uop-trace format (see
+// internal/xtrace): -format binary (default) or ndjson. Exported files
+// replay through replaysim -load or a replayd trace upload with
+// bit-identical statistics to the direct run at the same budget.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/internal/xtrace"
 )
 
 func main() {
@@ -28,18 +35,60 @@ func main() {
 	insts := flag.Int("insts", 0, "x86 instruction budget (default: profile budget)")
 	out := flag.String("o", "", "write the captured trace to this file")
 	slots := flag.String("slots", "", "write the retired slot stream (replay capture) to this file")
+	export := flag.String("export", "", "write the portable external uop trace to this file")
+	format := flag.String("format", "binary", "external trace encoding: binary or ndjson")
 	stat := flag.String("stat", "", "summarize an existing trace file")
 	slotStat := flag.String("slotstat", "", "summarize an existing slot-stream file")
 	list := flag.Bool("list", false, "list the workload set (Table 1)")
 	flag.Parse()
 
-	if err := run(*name, *traceIdx, *insts, *out, *slots, *stat, *slotStat, *list); err != nil {
+	if err := run(*name, *traceIdx, *insts, *out, *slots, *export, *format, *stat, *slotStat, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, traceIdx, insts int, out, slots, stat, slotStat string, list bool) error {
+// exportTrace captures the workload's retired slot stream (with replay
+// slack past the budget, so loaders can stream the same window the
+// replay pipeline sees) and writes it in the external format.
+func exportTrace(name string, traceIdx, insts int, path, format string) error {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	if insts == 0 {
+		insts = p.XInsts
+	}
+	ss, err := sim.CaptureSlotStream(p, traceIdx, insts+sim.ReplaySlack)
+	if err != nil {
+		return err
+	}
+	xt, err := xtrace.FromSlotStream(ss, insts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "binary":
+		err = xtrace.WriteBinary(f, xt)
+	case "ndjson":
+		err = xtrace.WriteNDJSON(f, xt)
+	default:
+		return fmt.Errorf("unknown -format %q (want binary or ndjson)", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s format, %d records, %d insts, id %s\n",
+		path, format, len(xt.Records), xt.Header.Insts, xtrace.TraceID(xt))
+	return nil
+}
+
+func run(name string, traceIdx, insts int, out, slots, export, format, stat, slotStat string, list bool) error {
 	switch {
 	case list:
 		t := stats.NewTable("Name", "Class", "Traces", "Insts/trace")
@@ -73,6 +122,9 @@ func run(name string, traceIdx, insts int, out, slots, stat, slotStat string, li
 			return err
 		}
 		return printSlotStats(ss)
+
+	case name != "" && export != "":
+		return exportTrace(name, traceIdx, insts, export, format)
 
 	case name != "" && slots != "":
 		p, err := workload.ByName(name)

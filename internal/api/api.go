@@ -78,6 +78,12 @@ type RunRequest struct {
 	// the coalescing key, so a traced job never attaches to an untraced
 	// one that would produce no events.
 	Trace bool `json:"trace,omitempty"`
+	// XTrace runs an uploaded external trace (POST /v1/traces) instead
+	// of a built-in workload: it names the trace by content ID. Only
+	// valid with the cell experiment (the default when set) and an empty
+	// workload list. Being part of the canonical form, it participates in
+	// coalescing and run memoization like any workload name.
+	XTrace string `json:"xtrace,omitempty"`
 }
 
 // Canonical returns the request in canonical form: names are trimmed
@@ -88,6 +94,10 @@ func (r RunRequest) Canonical() RunRequest {
 	c := r
 	c.Experiment = strings.ToLower(strings.TrimSpace(r.Experiment))
 	c.Mode = strings.ToUpper(strings.TrimSpace(r.Mode))
+	c.XTrace = strings.ToLower(strings.TrimSpace(r.XTrace))
+	if c.XTrace != "" && c.Experiment == "" {
+		c.Experiment = ExpCell
+	}
 	if c.Experiment == ExpCell && c.Mode == "" {
 		c.Mode = "RPO"
 	}
@@ -181,6 +191,14 @@ func (r RunRequest) Validate() error {
 	if c.Experiment == ExpCell {
 		if _, err := ParseMode(c.Mode); err != nil {
 			return err
+		}
+	}
+	if c.XTrace != "" {
+		if c.Experiment != ExpCell {
+			return fmt.Errorf("xtrace runs only support the cell experiment, not %q", c.Experiment)
+		}
+		if len(c.Workloads) > 0 {
+			return fmt.Errorf("xtrace and workloads are mutually exclusive")
 		}
 	}
 	if c.Config != nil {

@@ -69,6 +69,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("replayd_workers", "Size of the job worker pool.", float64(s.cfg.Workers))
 	p.Gauge("replayd_workers_busy", "Workers currently executing a job.", float64(s.met.busyWorkers.Load()))
 
+	// External-trace upload front end: traffic counters plus spool
+	// occupancy (zero gauges when no spool is configured).
+	p.Counter("replayd_xtrace_uploads_total", "External traces accepted by POST /v1/traces (deduplicated re-uploads included).", float64(s.xmet.uploads.Load()))
+	p.Counter("replayd_xtrace_upload_bytes_total", "Canonical bytes of accepted external-trace uploads.", float64(s.xmet.uploadBytes.Load()))
+	p.Counter("replayd_xtrace_decode_errors_total", "Uploads rejected by the trace decoder.", float64(s.xmet.decodeErrors.Load()))
+	p.Counter("replayd_xtrace_rejected_oversize_total", "Uploads rejected for exceeding the body cap or spool budget.", float64(s.xmet.oversize.Load()))
+	p.Counter("replayd_xtrace_runs_total", "Jobs executed against a spooled external trace.", float64(s.xmet.runs.Load()))
+	var spoolEntries int
+	var spoolBytes, spoolLimit int64
+	var spoolEvictions uint64
+	if s.spool != nil {
+		spoolEntries, spoolBytes, spoolLimit, spoolEvictions = s.spool.Stats()
+	}
+	p.Gauge("replayd_xtrace_spool_entries", "External traces currently spooled.", float64(spoolEntries))
+	p.Gauge("replayd_xtrace_spool_bytes", "Disk residency of the external-trace spool.", float64(spoolBytes))
+	p.Gauge("replayd_xtrace_spool_byte_limit", "Byte budget of the external-trace spool.", float64(spoolLimit))
+	p.Counter("replayd_xtrace_spool_evictions_total", "Spooled traces evicted by the byte budget.", float64(spoolEvictions))
+
 	m := sim.SnapshotMetrics()
 	p.Counter("replayd_sim_runs_executed_total", "Simulations executed to completion (memo misses).", float64(m.RunsExecuted))
 	p.Counter("replayd_sim_memo_hits_total", "Runs served from the run memo.", float64(m.MemoHits))

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
+	"repro/internal/xtrace"
 )
 
 // Runner executes one canonicalized request, reporting progress through
@@ -71,6 +73,15 @@ type Config struct {
 	// keep-all safe at replayd's request rates; negative keeps only
 	// error and slow traces).
 	TraceSample float64
+	// SpoolDir roots the external-trace spool (POST /v1/traces). Empty
+	// disables the upload front end: uploads and xtrace runs return 503.
+	SpoolDir string
+	// SpoolBytes bounds the spool's disk residency; least recently used
+	// traces are evicted past it. Default 256 MiB.
+	SpoolBytes int64
+	// MaxUploadBytes caps one upload's request body (and decode
+	// consumption); larger uploads are rejected with 413. Default 64 MiB.
+	MaxUploadBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SLOWindow <= 0 {
 		c.SLOWindow = 5 * time.Minute
+	}
+	if c.SpoolBytes <= 0 {
+		c.SpoolBytes = 256 << 20
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
 	}
 	return c
 }
@@ -250,6 +267,11 @@ type Server struct {
 	tracer   *tracing.Tracer
 	traces   *tracing.Store
 	httpHist *stats.LatencyHistogram
+
+	// spool holds uploaded external traces (nil when SpoolDir is empty:
+	// the upload front end is disabled); xmet counts its traffic.
+	spool *xtrace.Spool
+	xmet  xtraceMetrics
 }
 
 // New starts a server core: the worker pool is live on return.
@@ -278,6 +300,16 @@ func New(cfg Config) *Server {
 	s.httpHist = stats.NewLatencyHistogram("replayd_http_request_seconds",
 		"API (/v1/*) request latency since boot; bucket exemplars carry the trace ID of a recent request.",
 		stats.DefaultLatencyBounds...)
+	if cfg.SpoolDir != "" {
+		spool, err := xtrace.OpenSpool(cfg.SpoolDir, cfg.SpoolBytes)
+		if err != nil {
+			// The rest of the service works without the upload front end;
+			// uploads and xtrace runs answer 503 until a restart fixes it.
+			s.log.Warn("trace spool unavailable", "dir", cfg.SpoolDir, "error", err.Error())
+		} else {
+			s.spool = spool
+		}
+	}
 	s.routes()
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -384,6 +416,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -418,6 +453,9 @@ func (s *Server) submit(ctx context.Context, req api.RunRequest, detached bool) 
 	}
 	if err := validateWorkloads(c); err != nil {
 		return nil, false, &errSubmit{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	if err := s.checkXTrace(c); err != nil {
+		return nil, false, err
 	}
 	key := c.Key()
 
@@ -602,7 +640,14 @@ func (s *Server) execute(j *job) {
 	}
 	ctx := telemetry.NewContext(j.ctx, tel)
 	ctx, espan := tracing.Start(ctx, "job.exec")
-	res, err := s.cfg.Runner(ctx, j.req, j.appendEvent)
+	// Jobs naming a spooled external trace run through the xtrace
+	// backend; everything else uses the configured Runner (tests
+	// substitute it without affecting the upload front end).
+	runner := s.cfg.Runner
+	if j.req.XTrace != "" {
+		runner = s.runXTrace
+	}
+	res, err := runner(ctx, j.req, j.appendEvent)
 	espan.SetError(err)
 	espan.End()
 	s.met.busyWorkers.Add(-1)
@@ -720,10 +765,18 @@ func writeErr(w http.ResponseWriter, err error) {
 
 func decodeRequest(r *http.Request) (api.RunRequest, error) {
 	var req api.RunRequest
+	qtrace := r.URL.Query().Get("trace")
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return req, &errSubmit{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()}
+		// ?trace=<id> allows a bodyless submission: the trace ID plus
+		// defaults (cell experiment, RPO) fully describe the run.
+		if !(qtrace != "" && errors.Is(err, io.EOF)) {
+			return req, &errSubmit{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()}
+		}
+	}
+	if qtrace != "" {
+		req.XTrace = qtrace
 	}
 	return req, nil
 }

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/logtest"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xtrace"
+)
+
+// exportGzip captures and exports a small gzip trace in the external
+// binary encoding.
+func exportGzip(t *testing.T, budget int) ([]byte, *xtrace.Trace) {
+	t.Helper()
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sim.CaptureSlotStream(p, 0, budget+sim.ReplaySlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := xtrace.FromSlotStream(ss, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := xtrace.WriteBinary(&buf, xt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), xt
+}
+
+func upload(t *testing.T, url string, body []byte) (map[string]any, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/traces", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding upload response: %v", err)
+	}
+	return out, resp.StatusCode
+}
+
+// TestXTraceUploadRunMatchesDirect: export -> upload -> run?trace=<id>
+// must produce bit-identical stats to the direct interpreter-backed run.
+func TestXTraceUploadRunMatchesDirect(t *testing.T) {
+	const budget = 10_000
+	s := New(Config{Workers: 2, SpoolDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, xt := exportGzip(t, budget)
+	out, status := upload(t, ts.URL, body)
+	if status != http.StatusCreated {
+		t.Fatalf("upload status %d: %v", status, out)
+	}
+	id, _ := out["id"].(string)
+	if id != xtrace.TraceID(xt) {
+		t.Fatalf("upload id %q != content id %q", id, xtrace.TraceID(xt))
+	}
+	if int(out["records"].(float64)) != len(xt.Records) {
+		t.Fatalf("upload records = %v, want %d", out["records"], len(xt.Records))
+	}
+
+	// Re-upload deduplicates.
+	out2, status2 := upload(t, ts.URL, body)
+	if status2 != http.StatusCreated || out2["duplicate"] != true {
+		t.Fatalf("re-upload: status %d, %v", status2, out2)
+	}
+
+	// Run via the query-parameter form with no body.
+	resp, err := http.Post(ts.URL+"/v1/run?trace="+id, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env jobEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || env.State != api.StateDone {
+		t.Fatalf("run status %d state %q error %q", resp.StatusCode, env.State, env.Error)
+	}
+	var res api.RunResponse
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	// The exported header carries the capture's per-trace name ("gzip.0").
+	if !strings.HasPrefix(cell.Workload, "gzip") || cell.Mode != "RPO" || cell.Class != sim.ExternalClass {
+		t.Errorf("cell identity = %q/%q/%q", cell.Workload, cell.Class, cell.Mode)
+	}
+
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt,
+		sim.Options{MaxInsts: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cell.Stats, direct.Stats) {
+		t.Errorf("uploaded-trace stats differ from direct run:\n served: %+v\n direct: %+v",
+			cell.Stats, direct.Stats)
+	}
+
+	// The explicit JSON-body form coalesces/keys identically and works too.
+	env2, status := postRun(t, ts.URL+"/v1/run", api.RunRequest{XTrace: id})
+	if status != http.StatusOK || env2.State != api.StateDone {
+		t.Fatalf("xtrace body run: status %d state %q", status, env2.State)
+	}
+	if !bytes.Equal(env2.Result, env.Result) {
+		t.Errorf("body-form result differs from query-form result")
+	}
+}
+
+// Oversize uploads and spool-budget misses are 413 with a structured
+// body and a Warn log line — never a 500.
+func TestXTraceUploadOversize413(t *testing.T) {
+	h := logtest.NewHandler()
+	logger := slog.New(h)
+	body, _ := exportGzip(t, 2_000)
+
+	// Body cap: one byte under the upload.
+	s := New(Config{Workers: 1, SpoolDir: t.TempDir(),
+		MaxUploadBytes: int64(len(body) - 1), Logger: logger})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out, status := upload(t, ts.URL, body)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%v)", status, out)
+	}
+	if out["kind"] != "oversize" {
+		t.Errorf("kind = %v, want oversize", out["kind"])
+	}
+	if out["limit_bytes"] == nil || out["error"] == nil {
+		t.Errorf("unstructured 413 body: %v", out)
+	}
+
+	// Spool budget: body fits the request cap but not the spool.
+	s2 := New(Config{Workers: 1, SpoolDir: t.TempDir(),
+		SpoolBytes: 128, Logger: logger})
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	out2, status2 := upload(t, ts2.URL, body)
+	if status2 != http.StatusRequestEntityTooLarge {
+		t.Fatalf("spool-budget status = %d, want 413 (%v)", status2, out2)
+	}
+	if out2["kind"] != "spool_budget" {
+		t.Errorf("kind = %v, want spool_budget", out2["kind"])
+	}
+
+	found := false
+	for _, rec := range h.Records() {
+		if rec.Level == slog.LevelWarn && rec.Message == "trace upload rejected" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no Warn log line for the rejected upload")
+	}
+}
+
+// Malformed uploads are 400 with kind=decode; unknown trace IDs on run
+// submission are 404; a server without a spool answers 503.
+func TestXTraceUploadErrors(t *testing.T) {
+	s := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out, status := upload(t, ts.URL, []byte("this is not a trace"))
+	if status != http.StatusBadRequest || out["kind"] != "decode" {
+		t.Fatalf("garbage upload: status %d, %v", status, out)
+	}
+
+	env, status := postRun(t, ts.URL+"/v1/run", api.RunRequest{XTrace: strings.Repeat("ab", 32)})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown trace run: status %d (%s)", status, env.Error)
+	}
+
+	noSpool := New(Config{Workers: 1})
+	defer noSpool.Shutdown(context.Background())
+	ts2 := httptest.NewServer(noSpool.Handler())
+	defer ts2.Close()
+	out2, status2 := upload(t, ts2.URL, []byte("{}"))
+	if status2 != http.StatusServiceUnavailable || out2["kind"] != "disabled" {
+		t.Fatalf("spoolless upload: status %d, %v", status2, out2)
+	}
+}
+
+// The trace listing and info endpoints describe the spool, and the
+// xtrace metric families appear on /metrics.
+func TestXTraceListInfoAndMetrics(t *testing.T) {
+	s := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, xt := exportGzip(t, 2_000)
+	out, status := upload(t, ts.URL, body)
+	if status != http.StatusCreated {
+		t.Fatalf("upload: %d %v", status, out)
+	}
+	id := out["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list map[string]any
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if list["enabled"] != true || int(list["entries"].(float64)) != 1 {
+		t.Errorf("listing = %v", list)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info traceInfo
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if !strings.HasPrefix(info.Name, "gzip") || info.Records != uint64(len(xt.Records)) || !info.HasCode {
+		t.Errorf("info = %+v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"replayd_xtrace_uploads_total 1",
+		"replayd_xtrace_spool_entries 1",
+		"replayd_xtrace_decode_errors_total 0",
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

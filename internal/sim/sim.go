@@ -332,6 +332,15 @@ func runTraceStats(ctx context.Context, p workload.Profile, mode pipeline.Mode,
 		}
 		stream = &replayStream{rec: rec}
 	}
+	return runStreamStats(ctx, p.Name, stream, cfg, mode, o, budget, warmFrac, t)
+}
+
+// runStreamStats drives one engine over one correct-path stream: warmup
+// window, telemetry attach, measured window. It is shared by the
+// interpreter/capture path (runTraceStats) and the external-trace path
+// (RunExternal); name and t only label telemetry runs, spans, and errors.
+func runStreamStats(ctx context.Context, name string, stream slotSource, cfg pipeline.Config,
+	mode pipeline.Mode, o Options, budget int, warmFrac float64, t int) (pipeline.Stats, error) {
 	eng := pipeline.New(cfg, mode, stream)
 
 	warm := uint64(float64(budget) * warmFrac)
@@ -348,7 +357,7 @@ func runTraceStats(ctx context.Context, p workload.Profile, mode pipeline.Mode,
 	// engine (rather than toggling the collector) keeps a collector
 	// shared across parallel runs race-free.
 	if o.Telemetry != nil {
-		run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", p.Name, mode, t))
+		run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", name, mode, t))
 		eng.SetTelemetry(o.Telemetry, run)
 	}
 	eng.ResetStats()
@@ -362,7 +371,7 @@ func runTraceStats(ctx context.Context, p workload.Profile, mode pipeline.Mode,
 	_, err = eng.RunContext(mctx, uint64(budget)-warm)
 	if err == nil {
 		if serr := stream.Err(); serr != nil {
-			err = fmt.Errorf("sim %s trace %d: %w", p.Name, t, serr)
+			err = fmt.Errorf("sim %s trace %d: %w", name, t, serr)
 		}
 	}
 	if agg != nil {

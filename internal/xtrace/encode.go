@@ -1,0 +1,252 @@
+package xtrace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+	"repro/internal/translate"
+	"repro/internal/uop"
+	"repro/internal/x86"
+)
+
+// FromSlotStream converts a captured retired-slot stream into an
+// external trace with an embedded code image, emitting one record per
+// translated micro-op. insts is the intended instruction budget (0 means
+// the whole stream is the budget); the stream is expected to carry slack
+// slots beyond it (FlagPadded is set when it does). The result
+// round-trips: adapting it back to slots reproduces the capture
+// bit-identically, because decode/translation are deterministic
+// functions of the code bytes.
+func FromSlotStream(ss *trace.SlotStream, insts int) (*Trace, error) {
+	t := &Trace{
+		Header: Header{
+			Version: FormatVersion,
+			Name:    ss.Name,
+			Arch:    ArchIA32,
+			Flags:   FlagHasCode,
+		},
+		CodeBase: ss.CodeBase,
+		Code:     ss.Code,
+	}
+	if insts > 0 && insts <= len(ss.Slots) {
+		t.Header.Insts = uint32(insts)
+		if insts < len(ss.Slots) {
+			t.Header.Flags |= FlagPadded
+		}
+	}
+	uops := make(map[uint32][]uop.UOp)
+	lens := make(map[uint32]uint32)
+	for i := range ss.Slots {
+		s := &ss.Slots[i]
+		us, ok := uops[s.PC]
+		if !ok {
+			b := ss.InstBytes(s.PC)
+			if b == nil {
+				return nil, fmt.Errorf("xtrace: slot %d PC %#x outside the code image", i, s.PC)
+			}
+			in, err := x86.Decode(b)
+			if err != nil {
+				return nil, fmt.Errorf("xtrace: slot %d PC %#x: %w", i, s.PC, err)
+			}
+			us, err = translate.UOps(in, s.PC)
+			if err != nil {
+				return nil, fmt.Errorf("xtrace: slot %d PC %#x: %w", i, s.PC, err)
+			}
+			uops[s.PC] = us
+			lens[s.PC] = uint32(in.Len)
+		}
+		taken := s.NextPC != s.PC+lens[s.PC]
+		mem := 0
+		for ui, u := range us {
+			r := Record{EIP: s.PC, Class: classOf(u.Op)}
+			if ui == 0 {
+				r.Flags |= RecFirst
+			}
+			if u.Op.IsMem() && mem < len(s.MemAddrs) {
+				r.Flags |= RecHasAddr
+				r.Addr = s.MemAddrs[mem]
+				r.Size = 4
+				mem++
+			}
+			if taken && r.Class == ClassBranch {
+				r.Flags |= RecTaken
+			}
+			t.Records = append(t.Records, r)
+		}
+		if i == len(ss.Slots)-1 {
+			t.FinalPC = s.NextPC
+			t.HasFinal = true
+		}
+	}
+	t.Header.UOps = uint64(len(t.Records))
+	return t, nil
+}
+
+// classOf maps a micro-op opcode to its record class.
+func classOf(o uop.Op) Class {
+	switch {
+	case o == uop.LOAD:
+		return ClassLoad
+	case o == uop.STORE:
+		return ClassStore
+	case o == uop.JMP || o == uop.JR || o == uop.BR:
+		return ClassBranch
+	case o == uop.NOP:
+		return ClassSync
+	default:
+		return ClassExec
+	}
+}
+
+// WriteBinary writes the trace in the length-prefixed binary encoding.
+// This is the canonical form: content addressing hashes these bytes.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		bw.Write(u32[:])
+	}
+	putU32(FormatVersion)
+	name := t.Header.Name
+	if len(name) > maxNameLen {
+		name = name[:maxNameLen]
+	}
+	arch := t.Header.Arch
+	if len(arch) > maxArchLen {
+		arch = arch[:maxArchLen]
+	}
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(name)))
+	bw.Write(u16[:])
+	bw.WriteString(name)
+	bw.WriteByte(uint8(len(arch)))
+	bw.WriteString(arch)
+	flags := t.Header.Flags &^ uint32(FlagHasCode)
+	if len(t.Code) > 0 {
+		flags |= FlagHasCode
+	}
+	putU32(flags)
+	var u64b [8]byte
+	binary.LittleEndian.PutUint64(u64b[:], uint64(len(t.Records)))
+	bw.Write(u64b[:])
+	putU32(t.Header.Insts)
+	if flags&FlagHasCode != 0 {
+		putU32(t.CodeBase)
+		putU32(uint32(len(t.Code)))
+		bw.Write(t.Code)
+	}
+	for i := range t.Records {
+		writeBinaryRecord(bw, &t.Records[i])
+	}
+	if t.HasFinal {
+		eos := Record{EIP: t.FinalPC, Class: ClassSync, Flags: RecEOS}
+		writeBinaryRecord(bw, &eos)
+	}
+	return bw.Flush()
+}
+
+func writeBinaryRecord(bw *bufio.Writer, r *Record) {
+	n := byte(6)
+	if r.HasAddr() {
+		n = 11
+	}
+	bw.WriteByte(n)
+	bw.WriteByte(r.Flags)
+	bw.WriteByte(uint8(r.Class))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], r.EIP)
+	bw.Write(u32[:])
+	if r.HasAddr() {
+		binary.LittleEndian.PutUint32(u32[:], r.Addr)
+		bw.Write(u32[:])
+		bw.WriteByte(r.Size)
+	}
+}
+
+// jsonHeader is the NDJSON header line. FlagHasCode is implied by a
+// non-empty code field, so hand-written traces never set flag bits.
+type jsonHeader struct {
+	Magic    string `json:"magic"`
+	Version  uint32 `json:"version"`
+	Name     string `json:"name,omitempty"`
+	Arch     string `json:"arch,omitempty"`
+	Flags    uint32 `json:"flags,omitempty"`
+	UOps     uint64 `json:"uops,omitempty"`
+	Insts    uint32 `json:"insts,omitempty"`
+	CodeBase uint32 `json:"code_base,omitempty"`
+	Code     string `json:"code,omitempty"` // base64(code image)
+}
+
+// jsonRecord is one NDJSON record line. "first" defaults to true when
+// omitted, so a hand-written one-line-per-instruction trace needs only
+// eip/class (+ addr/size, taken).
+type jsonRecord struct {
+	EIP   *uint32 `json:"eip"`
+	Class string  `json:"class,omitempty"`
+	Addr  *uint32 `json:"addr,omitempty"`
+	Size  uint8   `json:"size,omitempty"`
+	Taken bool    `json:"taken,omitempty"`
+	First *bool   `json:"first,omitempty"`
+	EOS   bool    `json:"eos,omitempty"`
+}
+
+// WriteNDJSON writes the trace in the NDJSON encoding: one header
+// object, then one object per record, newline-delimited.
+func WriteNDJSON(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := jsonHeader{
+		Magic:   "xuop",
+		Version: FormatVersion,
+		Name:    t.Header.Name,
+		Arch:    t.Header.Arch,
+		Flags:   t.Header.Flags &^ uint32(FlagHasCode),
+		UOps:    uint64(len(t.Records)),
+		Insts:   t.Header.Insts,
+	}
+	if len(t.Code) > 0 {
+		h.CodeBase = t.CodeBase
+		h.Code = base64.StdEncoding.EncodeToString(t.Code)
+	}
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	f := false
+	for i := range t.Records {
+		r := &t.Records[i]
+		jr := jsonRecord{EIP: &r.EIP, Class: r.Class.String(), Size: r.Size, Taken: r.Taken()}
+		if r.HasAddr() {
+			jr.Addr = &r.Addr
+		}
+		if !r.First() {
+			jr.First = &f
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	if t.HasFinal {
+		if err := enc.Encode(jsonRecord{EIP: &t.FinalPC, EOS: true}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CanonicalBytes returns the canonical (binary) encoding of the trace,
+// the byte string content addressing hashes.
+func CanonicalBytes(t *Trace) []byte {
+	var buf bytes.Buffer
+	WriteBinary(&buf, t) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}

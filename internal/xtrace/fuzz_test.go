@@ -1,0 +1,69 @@
+package xtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode drives the streaming decoder with corrupt, truncated, and
+// mutated inputs. The invariant is total: Decode either returns a trace
+// or a typed error — it never panics, and a successfully decoded trace
+// re-encodes and re-decodes to the same record stream.
+func FuzzDecode(f *testing.F) {
+	// Valid binary and NDJSON encodings as mutation bases.
+	tr := tinyTrace()
+	var bin bytes.Buffer
+	WriteBinary(&bin, tr)
+	f.Add(bin.Bytes())
+	var nd bytes.Buffer
+	WriteNDJSON(&nd, tr)
+	f.Add(nd.Bytes())
+
+	// Corrupt headers.
+	f.Add([]byte{})
+	f.Add([]byte("x"))
+	f.Add([]byte("xuop"))
+	f.Add([]byte("xuop\x02\x00\x00\x00"))         // bad version
+	f.Add([]byte("xuop\x01\x00\x00\x00\xff\xff")) // oversize name length
+	f.Add(bin.Bytes()[:len(bin.Bytes())/2])       // truncated mid-stream
+	f.Add(bin.Bytes()[:17])                       // truncated mid-header
+	huge := append([]byte(nil), bin.Bytes()...)
+	binary.LittleEndian.PutUint64(huge[23:], 1<<60) // absurd uop count
+	f.Add(huge)
+
+	// Corrupt records.
+	badClass := append([]byte(nil), bin.Bytes()...)
+	badClass[len(badClass)-5] = 0xEE
+	f.Add(badClass)
+	f.Add([]byte(`{"magic":"xuop","version":1}` + "\n" + `{"eip":1,"class":"zap"}`))
+	f.Add([]byte(`{"magic":"xuop","version":1}` + "\n" + `not json at all`))
+	f.Add([]byte(`{"magic":"xuop","version":1,"code":"!!!"}` + "\n" + `{"eip":1}`))
+
+	lim := Limits{MaxRecords: 4096, MaxBytes: 1 << 20, MaxCodeBytes: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		// Accepted input: it must re-encode and re-decode identically.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, dec); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Decode(&buf, lim)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Records) != len(dec.Records) {
+			t.Fatalf("re-decode has %d records, want %d", len(again.Records), len(dec.Records))
+		}
+		for i := range dec.Records {
+			if again.Records[i] != dec.Records[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, dec.Records[i], again.Records[i])
+			}
+		}
+		// Adapting must not panic either; errors are fine.
+		dec.Slots()
+	})
+}

@@ -1,0 +1,121 @@
+package xtrace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func spoolTrace(eip uint32, n int) *Trace {
+	t := &Trace{Header: Header{Version: FormatVersion, Name: "sp", Arch: "test"}}
+	for i := 0; i < n; i++ {
+		t.Records = append(t.Records, Record{EIP: eip + uint32(i)*4, Class: ClassExec, Flags: RecFirst})
+	}
+	return t
+}
+
+func TestSpoolPutGetDedup(t *testing.T) {
+	s, err := OpenSpool(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spoolTrace(0x1000, 8)
+	id, size, dup, err := s.Put(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup || size <= 0 || !validID(id) {
+		t.Fatalf("put: id=%q size=%d dup=%v", id, size, dup)
+	}
+	if id != TraceID(tr) {
+		t.Fatalf("put ID %s != TraceID %s", id, TraceID(tr))
+	}
+	if _, _, dup, _ := s.Put(tr); !dup {
+		t.Fatal("re-upload not deduplicated")
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 8 || got.Header.Name != "sp" {
+		t.Fatalf("got %+v", got.Header)
+	}
+	if _, err := s.Get(strings.Repeat("ab", 32)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: err = %v", err)
+	}
+	if _, err := s.Get("../escape"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("traversal id: err = %v", err)
+	}
+}
+
+func TestSpoolBudgetAndEviction(t *testing.T) {
+	one := spoolTrace(0x1000, 4)
+	unit := int64(len(CanonicalBytes(one)))
+
+	s, err := OpenSpool(t.TempDir(), unit*2+unit/2) // room for two
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 3)
+	for i := range ids {
+		id, _, _, err := s.Put(spoolTrace(uint32(0x1000*(i+1)), 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	entries, bytes, maxBytes, evictions := s.Stats()
+	if entries != 2 || bytes > maxBytes || evictions != 1 {
+		t.Fatalf("stats = %d entries, %d/%d bytes, %d evictions", entries, bytes, maxBytes, evictions)
+	}
+	if s.Has(ids[0]) {
+		t.Fatal("LRU entry not evicted")
+	}
+	if !s.Has(ids[1]) || !s.Has(ids[2]) {
+		t.Fatal("recent entries evicted")
+	}
+
+	// A single trace over the whole budget is refused, not spooled.
+	tiny, err := OpenSpool(t.TempDir(), unit-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tiny.Put(one); !errors.Is(err, ErrSpoolBudget) {
+		t.Fatalf("oversize put: err = %v, want ErrSpoolBudget", err)
+	}
+}
+
+func TestSpoolReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, _, err := s.Put(spoolTrace(0x2000, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Junk files are ignored on rescan.
+	os.WriteFile(filepath.Join(dir, "junk.txt"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "nothex.xut"), []byte("x"), 0o644)
+
+	re, err := OpenSpool(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Has(id) {
+		t.Fatal("reopened spool lost the trace")
+	}
+	got, err := re.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 6 {
+		t.Fatalf("reloaded %d records, want 6", len(got.Records))
+	}
+	if entries, _, _, _ := re.Stats(); entries != 1 {
+		t.Fatalf("reopened spool has %d entries", entries)
+	}
+}

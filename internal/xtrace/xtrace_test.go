@@ -1,0 +1,254 @@
+package xtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyTrace builds a small synthetic (no code image) trace.
+func tinyTrace() *Trace {
+	return &Trace{
+		Header: Header{Version: FormatVersion, Name: "tiny", Arch: "test"},
+		Records: []Record{
+			{EIP: 0x1000, Class: ClassExec, Flags: RecFirst},
+			{EIP: 0x1002, Class: ClassLoad, Flags: RecFirst | RecHasAddr, Addr: 0x8000, Size: 4},
+			{EIP: 0x1005, Class: ClassBranch, Flags: RecFirst | RecTaken},
+			{EIP: 0x1000, Class: ClassExec, Flags: RecFirst},
+		},
+		FinalPC:  0x1002,
+		HasFinal: true,
+	}
+}
+
+func encodeBinary(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	dec, err := Decode(bytes.NewReader(encodeBinary(t, tr)), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header.Name != "tiny" || dec.Header.Arch != "test" {
+		t.Errorf("header = %+v", dec.Header)
+	}
+	if len(dec.Records) != 4 {
+		t.Fatalf("decoded %d records, want 4", len(dec.Records))
+	}
+	if !dec.HasFinal || dec.FinalPC != 0x1002 {
+		t.Errorf("final = %v %#x", dec.HasFinal, dec.FinalPC)
+	}
+	r := dec.Records[1]
+	if !r.HasAddr() || r.Addr != 0x8000 || r.Size != 4 || r.Class != ClassLoad {
+		t.Errorf("record 1 = %+v", r)
+	}
+	if !dec.Records[2].Taken() {
+		t.Error("record 2 lost its taken bit")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Records) != 4 || !dec.HasFinal || dec.FinalPC != 0x1002 {
+		t.Fatalf("decoded %d records, final %v %#x", len(dec.Records), dec.HasFinal, dec.FinalPC)
+	}
+	for i := range tr.Records {
+		if dec.Records[i] != tr.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, dec.Records[i], tr.Records[i])
+		}
+	}
+}
+
+// Hand-written NDJSON: minimal lines, "first" defaulting, class words.
+func TestNDJSONHandWritten(t *testing.T) {
+	src := `{"magic":"xuop","version":1,"name":"hand","arch":"arm"}
+{"eip":4096,"class":"exec"}
+{"eip":4100,"class":"load","addr":32768,"size":8}
+{"eip":4104,"class":"branch","taken":true}
+{"eip":4096,"eos":true}
+`
+	dec, err := Decode(strings.NewReader(src), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Records) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(dec.Records))
+	}
+	for i, r := range dec.Records {
+		if !r.First() {
+			t.Errorf("record %d: first should default to true", i)
+		}
+	}
+	if r := dec.Records[1]; !r.HasAddr() || r.Addr != 32768 || r.Size != 8 {
+		t.Errorf("record 1 = %+v", r)
+	}
+	slots, err := dec.Slots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 {
+		t.Fatalf("adapted %d slots, want 3", len(slots))
+	}
+	// Non-taken fallthrough fixes Len; NextPC relations must encode the
+	// taken bits (slot 2 was taken).
+	if slots[0].NextPC != slots[0].PC+uint32(slots[0].Inst.Len) {
+		t.Errorf("slot 0 reads as taken: %+v", slots[0])
+	}
+	if slots[2].NextPC == slots[2].PC+uint32(slots[2].Inst.Len) {
+		t.Errorf("slot 2 lost its taken bit: %+v", slots[2])
+	}
+	if len(slots[1].MemAddrs) != 1 || slots[1].MemAddrs[0] != 32768 {
+		t.Errorf("slot 1 addrs = %v", slots[1].MemAddrs)
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	good := encodeBinary(t, tinyTrace())
+
+	tests := []struct {
+		name string
+		in   []byte
+		lim  Limits
+		want error
+	}{
+		{"empty", nil, Limits{}, ErrTruncated},
+		{"bad magic", []byte("nope"), Limits{}, ErrBadMagic},
+		{"bad magic xu", []byte("xu__garbage_____"), Limits{}, ErrBadMagic},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[4:], 99)
+			return b
+		}(), Limits{}, ErrBadVersion},
+		{"truncated header", good[:6], Limits{}, ErrTruncated},
+		{"truncated record", good[:len(good)-3], Limits{}, ErrTruncated},
+		{"oversize stream", good, Limits{MaxBytes: 16}, ErrLimit},
+		{"record cap", good, Limits{MaxRecords: 2}, ErrLimit},
+		{"bad class", func() []byte {
+			tr := tinyTrace()
+			tr.Records[0].Class = 200
+			return encodeBinary(t, tr)
+		}(), Limits{}, ErrBadClass},
+		{"json bad magic", []byte(`{"magic":"nope","version":1}` + "\n"), Limits{}, ErrBadMagic},
+		{"json bad version", []byte(`{"magic":"xuop","version":7}` + "\n"), Limits{}, ErrBadVersion},
+		{"json bad class", []byte(`{"magic":"xuop","version":1}` + "\n" +
+			`{"eip":1,"class":"frobnicate"}` + "\n"), Limits{}, ErrBadClass},
+		{"json no eip", []byte(`{"magic":"xuop","version":1}` + "\n" +
+			`{"class":"exec"}` + "\n"), Limits{}, ErrMalformed},
+		{"json garbage line", []byte(`{"magic":"xuop","version":1}` + "\n" + `{{{` + "\n"), Limits{}, ErrMalformed},
+		{"no records", []byte(`{"magic":"xuop","version":1}` + "\n"), Limits{}, ErrMalformed},
+		{"record after eos", func() []byte {
+			tr := tinyTrace()
+			var buf bytes.Buffer
+			WriteBinary(&buf, tr)
+			b := buf.Bytes()
+			// Append one more record after the EOS sentinel.
+			return append(b, 6, RecFirst, byte(ClassExec), 0, 0x10, 0, 0)
+		}(), Limits{}, ErrMalformed},
+		{"uop count mismatch", func() []byte {
+			b := append([]byte(nil), good...)
+			// UOps u64 lives after magic(4)+ver(4)+nameLen(2)+name(4)+archLen(1)+arch(4)+flags(4).
+			off := 4 + 4 + 2 + len("tiny") + 1 + len("test") + 4
+			binary.LittleEndian.PutUint64(b[off:], 99)
+			return b
+		}(), Limits{}, ErrMalformed},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(bytes.NewReader(tc.in), tc.lim)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeCodeLimits(t *testing.T) {
+	tr := tinyTrace()
+	tr.Header.Arch = ArchIA32
+	tr.CodeBase = 0x1000
+	tr.Code = bytes.Repeat([]byte{0x90}, 1024)
+	b := encodeBinary(t, tr)
+	if _, err := Decode(bytes.NewReader(b), Limits{MaxCodeBytes: 512, MaxBytes: 1 << 20}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("code over cap: err = %v, want ErrLimit", err)
+	}
+	dec, err := Decode(bytes.NewReader(b), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Header.HasCode() || len(dec.Code) != 1024 || dec.CodeBase != 0x1000 {
+		t.Fatalf("code image lost: %+v", dec.Header)
+	}
+}
+
+// Mid-instruction EIP changes are rejected by the adapter.
+func TestGroupsRejectEIPChange(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Version: FormatVersion},
+		Records: []Record{
+			{EIP: 0x10, Class: ClassExec, Flags: RecFirst},
+			{EIP: 0x14, Class: ClassExec}, // continues 0x10's group
+		},
+	}
+	if _, err := tr.Slots(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// Synthesized decode is per-PC static: repeated visits to an EIP share
+// one instruction identity, which frame-cache replay relies on.
+func TestSynthDeterministicPerPC(t *testing.T) {
+	tr := tinyTrace()
+	slots, err := tr.Slots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 4 {
+		t.Fatalf("adapted %d slots, want 4", len(slots))
+	}
+	a, b := slots[0], slots[3] // both EIP 0x1000
+	if a.Inst != b.Inst {
+		t.Errorf("same PC decoded differently: %+v vs %+v", a.Inst, b.Inst)
+	}
+	if len(a.UOps) != len(b.UOps) {
+		t.Fatalf("uop flows differ in length")
+	}
+	for i := range a.UOps {
+		if a.UOps[i] != b.UOps[i] {
+			t.Errorf("uop %d differs: %+v vs %+v", i, a.UOps[i], b.UOps[i])
+		}
+	}
+	// Taken relation: slot 2 (branch, taken) must not read as fallthrough.
+	s := slots[2]
+	if s.NextPC == s.PC+uint32(s.Inst.Len) {
+		t.Errorf("taken branch reads as fallthrough: %+v", s)
+	}
+}
+
+func TestTraceIDStable(t *testing.T) {
+	a, b := TraceID(tinyTrace()), TraceID(tinyTrace())
+	if a != b {
+		t.Fatalf("same trace hashed differently: %s vs %s", a, b)
+	}
+	mut := tinyTrace()
+	mut.Records[0].EIP++
+	if TraceID(mut) == a {
+		t.Fatal("different traces share an ID")
+	}
+}

@@ -464,6 +464,9 @@ func (s *Server) submit(ctx context.Context, req api.RunRequest, detached bool) 
 	s.met.requests.Add(1)
 
 	if j, ok := s.inflight[key]; ok {
+		// The leader job holds its own pin on the spooled trace; this
+		// submission's hold is redundant.
+		s.unpinXTrace(c)
 		s.met.coalesced.Add(1)
 		if detached {
 			j.detached = true
@@ -483,6 +486,7 @@ func (s *Server) submit(ctx context.Context, req api.RunRequest, detached bool) 
 		return j, true, nil
 	}
 	if s.draining {
+		s.unpinXTrace(c)
 		return nil, false, &errSubmit{status: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
 
@@ -524,6 +528,7 @@ func (s *Server) submit(ctx context.Context, req api.RunRequest, detached bool) 
 	select {
 	case s.queue <- j:
 	default:
+		s.unpinXTrace(c)
 		jcancel()
 		j.qspan.End()
 		j.span.SetError(errors.New("job queue full"))
@@ -657,6 +662,7 @@ func (s *Server) execute(j *job) {
 // settle finishes the job, removes it from the coalescing index and
 // evicts old finished jobs beyond the retention bound.
 func (s *Server) settle(j *job, res *api.RunResponse, err error) {
+	s.unpinXTrace(j.req)
 	j.finish(res, err)
 	j.cancel()
 

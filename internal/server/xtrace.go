@@ -31,11 +31,17 @@ type xtraceMetrics struct {
 // uploadLimits derives the decode bounds for one upload from the
 // server's configured body cap.
 func (s *Server) uploadLimits() xtrace.Limits {
+	// Records are >= MinRecordBytes encoded bytes each, so the byte cap
+	// bounds the count a stream can actually carry; capping MaxRecords
+	// the same way keeps a header that merely declares a huge count from
+	// commanding a matching allocation.
+	maxRecords := uint64(s.cfg.MaxUploadBytes) / xtrace.MinRecordBytes
+	if maxRecords == 0 {
+		maxRecords = 1
+	}
 	return xtrace.Limits{
-		MaxBytes: s.cfg.MaxUploadBytes,
-		// Records are >= 7 encoded bytes each, so the byte cap already
-		// bounds the count; this is a second line of defense.
-		MaxRecords:   uint64(s.cfg.MaxUploadBytes),
+		MaxBytes:     s.cfg.MaxUploadBytes,
+		MaxRecords:   maxRecords,
 		MaxCodeBytes: 16 << 20,
 	}
 }
@@ -178,7 +184,10 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 
 // checkXTrace validates an xtrace-carrying submission against the spool
 // at submit time, so a bad trace ID fails with 404 instead of a failed
-// job.
+// job. A present trace is pinned against eviction — a queued job must
+// still find it when a worker picks the job up, however many uploads
+// churn the spool in between. Every successful check must be balanced
+// by one unpinXTrace (on coalesce, rejection, or job settlement).
 func (s *Server) checkXTrace(req api.RunRequest) error {
 	if req.XTrace == "" {
 		return nil
@@ -187,11 +196,18 @@ func (s *Server) checkXTrace(req api.RunRequest) error {
 		return &errSubmit{status: http.StatusServiceUnavailable,
 			msg: "trace spool disabled (start replayd with -spool-dir)"}
 	}
-	if !s.spool.Has(req.XTrace) {
+	if !s.spool.Pin(req.XTrace) {
 		return &errSubmit{status: http.StatusNotFound,
 			msg: fmt.Sprintf("no spooled trace %q (upload it to /v1/traces first)", req.XTrace)}
 	}
 	return nil
+}
+
+// unpinXTrace releases the eviction hold checkXTrace took for req.
+func (s *Server) unpinXTrace(req api.RunRequest) {
+	if req.XTrace != "" && s.spool != nil {
+		s.spool.Unpin(req.XTrace)
+	}
 }
 
 // runXTrace is the Runner for jobs that name a spooled trace: it loads

@@ -104,6 +104,31 @@ func (t *Trace) codeSlots(groups []group) ([]pipeline.Slot, error) {
 			insts[g.eip] = in
 			uopsOf[g.eip] = us
 		}
+		// The record grouping must agree with the translation: one record
+		// per cracked micro-op, and no more address-carrying records than
+		// the flow has memory micro-ops (exporters may legitimately omit
+		// addresses, so fewer is fine). A mismatch would silently feed the
+		// pipeline a flow whose MemAddrs pair with the wrong micro-ops.
+		if nrec := g.hi - g.lo; nrec != len(us) {
+			return nil, fmt.Errorf("%w: record %d EIP %#x: %d records for an instruction that cracks into %d micro-ops",
+				ErrInconsistent, g.lo, g.eip, nrec, len(us))
+		}
+		memUops := 0
+		for _, u := range us {
+			if u.Op.IsMem() {
+				memUops++
+			}
+		}
+		addrRecs := 0
+		for i := g.lo; i < g.hi; i++ {
+			if t.Records[i].HasAddr() {
+				addrRecs++
+			}
+		}
+		if addrRecs > memUops {
+			return nil, fmt.Errorf("%w: record %d EIP %#x: %d address-carrying records for an instruction with %d memory micro-ops",
+				ErrInconsistent, g.lo, g.eip, addrRecs, memUops)
+		}
 		var next uint32
 		switch {
 		case gi+1 < len(groups):

@@ -20,8 +20,20 @@ type limitedReader struct {
 }
 
 func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.clipped {
+		return 0, io.EOF
+	}
 	if l.n <= 0 {
-		l.clipped = true
+		// Budget spent. A stream of exactly MaxBytes must still decode,
+		// so the cap only counts as hit if another byte actually
+		// materializes: probe the source before deciding. A source that
+		// errors here instead of reporting EOF (http.MaxBytesReader at
+		// its own limit) also means there was more than the budget.
+		var probe [1]byte
+		n, err := l.r.Read(probe[:])
+		if n > 0 || (err != nil && err != io.EOF) {
+			l.clipped = true
+		}
 		return 0, io.EOF
 	}
 	if int64(len(p)) > l.n {
@@ -183,8 +195,15 @@ func decodeBinary(br *bufio.Reader, lr *limitedReader, lim Limits) (*Trace, erro
 		}
 	}
 	if t.Header.UOps > 0 {
-		// Exact-count preallocation; the cap check above bounds it.
-		t.Records = make([]Record, 0, t.Header.UOps)
+		// Preallocate from the header count, but only up to what the
+		// remaining byte budget can actually carry: the count is
+		// attacker-controlled, and a 40-byte stream declaring 2^26 uops
+		// must not command a gigabyte before a single record is read.
+		prealloc := t.Header.UOps
+		if carry := (uint64(lr.n) + uint64(br.Buffered())) / MinRecordBytes; carry < prealloc {
+			prealloc = carry
+		}
+		t.Records = make([]Record, 0, prealloc)
 	}
 	var payload [maxRecLen]byte
 	for i := uint64(0); ; i++ {
@@ -338,27 +357,33 @@ func decodeNDJSON(br *bufio.Reader, lr *limitedReader, lim Limits) (*Trace, erro
 }
 
 // readLine reads one newline-terminated line (the final line may omit
-// the newline). It returns io.EOF only on a clean end of input with no
-// bytes read.
+// the newline), accumulating buffer-sized fragments so an overlong line
+// fails with ErrLimit as soon as it crosses maxLen instead of after the
+// whole line has been buffered. It returns io.EOF only on a clean end
+// of input with no bytes read.
 func readLine(br *bufio.Reader, lr *limitedReader, maxLen int, what string) ([]byte, error) {
-	line, err := br.ReadBytes('\n')
-	if err == io.EOF {
-		if len(line) == 0 {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > maxLen {
+			return nil, fmt.Errorf("%w: %s line is %d bytes (cap %d)", ErrLimit, what, len(line), maxLen)
+		}
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
 			if lr.clipped {
 				return nil, lr.eofErr(what)
 			}
-			return nil, io.EOF
+			if len(line) == 0 {
+				return nil, io.EOF
+			}
+			return line, nil // unterminated final line
+		default:
+			return nil, fmt.Errorf("%w: %s: %v", ErrMalformed, what, err)
 		}
-		if lr.clipped {
-			return nil, lr.eofErr(what)
-		}
-		return line, nil // unterminated final line
 	}
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrMalformed, what, err)
-	}
-	if len(line) > maxLen {
-		return nil, fmt.Errorf("%w: %s line is %d bytes (cap %d)", ErrLimit, what, len(line), maxLen)
-	}
-	return line, nil
 }

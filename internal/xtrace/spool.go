@@ -31,14 +31,15 @@ const spoolExt = ".xut"
 // fingerprint discipline the run memo uses — so re-uploads deduplicate
 // and a trace ID names exactly one stream of micro-ops forever. Least
 // recently used traces are evicted when the byte budget is exceeded;
-// the most recent trace is always retained.
+// pinned traces and the most recent trace are always retained.
 type Spool struct {
 	mu        sync.Mutex
 	dir       string
 	maxBytes  int64
 	bytes     int64
 	sizes     map[string]int64
-	order     []string // front = least recently used
+	pins      map[string]int // eviction holds, keyed by ID
+	order     []string       // front = least recently used
 	evictions uint64
 }
 
@@ -49,7 +50,7 @@ func OpenSpool(dir string, maxBytes int64) (*Spool, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("xtrace: open spool: %w", err)
 	}
-	s := &Spool{dir: dir, maxBytes: maxBytes, sizes: map[string]int64{}}
+	s := &Spool{dir: dir, maxBytes: maxBytes, sizes: map[string]int64{}, pins: map[string]int{}}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("xtrace: open spool: %w", err)
@@ -168,6 +169,35 @@ func (s *Spool) Get(id string) (*Trace, error) {
 	return Decode(f, Limits{})
 }
 
+// Pin marks id as in use, protecting it from eviction until a matching
+// Unpin, and reports whether the trace is present. Callers that hand
+// out a trace ID for deferred work (a queued job) pin at admission so
+// later uploads cannot evict the trace out from under the job.
+func (s *Spool) Pin(id string) bool {
+	if !validID(id) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sizes[id]; !ok {
+		return false
+	}
+	s.pins[id]++
+	s.touch(id)
+	return true
+}
+
+// Unpin releases one Pin hold on id. Extra unpins are ignored.
+func (s *Spool) Unpin(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[id] <= 1 {
+		delete(s.pins, id)
+	} else {
+		s.pins[id]--
+	}
+}
+
 // Has reports whether the spool currently holds id.
 func (s *Spool) Has(id string) bool {
 	if !validID(id) {
@@ -209,12 +239,19 @@ func (s *Spool) touch(id string) {
 	s.order = append(s.order, id)
 }
 
-// evict removes least-recently-used traces while over budget, always
-// retaining the most recent one. Caller holds s.mu.
+// evict removes least-recently-used traces while over budget, skipping
+// pinned entries and always retaining the most recent one. Pins can
+// leave the spool over budget; it drains back under once they release.
+// Caller holds s.mu.
 func (s *Spool) evict() {
-	for len(s.order) > 1 && s.bytes > s.maxBytes {
-		old := s.order[0]
-		s.order = s.order[1:]
+	i := 0
+	for s.bytes > s.maxBytes && i < len(s.order)-1 {
+		old := s.order[i]
+		if s.pins[old] > 0 {
+			i++
+			continue
+		}
+		s.order = append(s.order[:i], s.order[i+1:]...)
 		s.bytes -= s.sizes[old]
 		delete(s.sizes, old)
 		os.Remove(s.path(old))

@@ -87,6 +87,49 @@ func TestSpoolBudgetAndEviction(t *testing.T) {
 	}
 }
 
+// A pinned trace survives budget pressure; eviction falls on the
+// oldest unpinned entry instead, and releasing the pin makes the trace
+// evictable again.
+func TestSpoolPinBlocksEviction(t *testing.T) {
+	one := spoolTrace(0x1000, 4)
+	unit := int64(len(CanonicalBytes(one)))
+	s, err := OpenSpool(t.TempDir(), unit*2+unit/2) // room for two
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, _, _, err := s.Put(spoolTrace(0x1000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, _, _, err := s.Put(spoolTrace(0x2000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pin(idA) {
+		t.Fatal("pin of a present trace failed")
+	}
+	if s.Pin(strings.Repeat("ab", 32)) {
+		t.Fatal("pin of an absent trace succeeded")
+	}
+	idC, _, _, err := s.Put(spoolTrace(0x3000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(idA) {
+		t.Fatal("pinned trace was evicted")
+	}
+	if s.Has(idB) || !s.Has(idC) {
+		t.Fatalf("eviction fell on the wrong entry: B=%v C=%v", s.Has(idB), s.Has(idC))
+	}
+	s.Unpin(idA)
+	if _, _, _, err := s.Put(spoolTrace(0x4000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(idA) {
+		t.Fatal("unpinned LRU trace survived eviction")
+	}
+}
+
 func TestSpoolReopen(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenSpool(dir, 1<<20)

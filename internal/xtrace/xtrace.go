@@ -229,6 +229,13 @@ func (l Limits) withDefaults() Limits {
 // while still rejecting garbage prefixes early.
 const maxRecLen = 64
 
+// MinRecordBytes is the smallest encoded size of one record in either
+// encoding (binary: one length byte plus a 6-byte payload; NDJSON lines
+// are larger). It lets callers derive a sound record-count cap from a
+// byte budget: a stream of B bytes carries at most B/MinRecordBytes
+// records.
+const MinRecordBytes = 7
+
 // maxNameLen and maxArchLen bound the header strings.
 const (
 	maxNameLen = 256

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -179,6 +180,65 @@ func TestDecodeTypedErrors(t *testing.T) {
 	}
 }
 
+// A stream of exactly MaxBytes is within the budget and must decode;
+// one byte less and the cap is genuinely exceeded.
+func TestDecodeExactByteBudget(t *testing.T) {
+	for _, enc := range []struct {
+		name string
+		in   []byte
+	}{
+		{"binary", encodeBinary(t, tinyTrace())},
+		{"ndjson", func() []byte {
+			var buf bytes.Buffer
+			if err := WriteNDJSON(&buf, tinyTrace()); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}()},
+	} {
+		t.Run(enc.name, func(t *testing.T) {
+			if _, err := Decode(bytes.NewReader(enc.in), Limits{MaxBytes: int64(len(enc.in))}); err != nil {
+				t.Fatalf("exact-budget stream rejected: %v", err)
+			}
+			if _, err := Decode(bytes.NewReader(enc.in), Limits{MaxBytes: int64(len(enc.in)) - 1}); !errors.Is(err, ErrLimit) {
+				t.Fatalf("over-budget stream: err = %v, want ErrLimit", err)
+			}
+		})
+	}
+}
+
+// A header that declares a huge uop count must not command a matching
+// preallocation: the byte budget bounds what the stream could possibly
+// carry, and so must bound the allocation.
+func TestDecodePreallocBounded(t *testing.T) {
+	b := encodeBinary(t, tinyTrace())
+	// Patch the header count to 8M uops (would be 128 MiB of Records).
+	off := 4 + 4 + 2 + len("tiny") + 1 + len("test") + 4
+	binary.LittleEndian.PutUint64(b[off:], 8<<20)
+	lim := Limits{MaxBytes: 4096, MaxRecords: 16 << 20}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := Decode(bytes.NewReader(b), lim)
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed (count/stream mismatch)", err)
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 1<<20 {
+		t.Fatalf("decode of a 4 KiB budget allocated %d bytes", alloc)
+	}
+}
+
+// One overlong NDJSON line is rejected as soon as it crosses the line
+// cap, not after the whole line has been buffered.
+func TestNDJSONLineCap(t *testing.T) {
+	lim := Limits{MaxCodeBytes: 16, MaxBytes: 1 << 20} // line cap ~4 KiB
+	line := `{"magic":"xuop","version":1,"pad":"` + strings.Repeat("a", 16<<10) + `"}` + "\n"
+	if _, err := Decode(strings.NewReader(line), lim); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversize line: err = %v, want ErrLimit", err)
+	}
+}
+
 func TestDecodeCodeLimits(t *testing.T) {
 	tr := tinyTrace()
 	tr.Header.Arch = ArchIA32
@@ -208,6 +268,40 @@ func TestGroupsRejectEIPChange(t *testing.T) {
 	}
 	if _, err := tr.Slots(); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// A code-carrying trace whose record grouping disagrees with the
+// translation of its code image is rejected, per ErrInconsistent's
+// contract, instead of silently running with misaligned MemAddrs.
+func TestCodeSlotsInconsistent(t *testing.T) {
+	base := Trace{
+		Header:   Header{Version: FormatVersion, Arch: ArchIA32, Flags: FlagHasCode},
+		CodeBase: 0x1000,
+		Code:     []byte{0x90}, // NOP: cracks into exactly one micro-op
+	}
+
+	twoRec := base
+	twoRec.Records = []Record{
+		{EIP: 0x1000, Class: ClassExec, Flags: RecFirst},
+		{EIP: 0x1000, Class: ClassExec},
+	}
+	if _, err := twoRec.Slots(); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("uop count mismatch: err = %v, want ErrInconsistent", err)
+	}
+
+	addrRec := base
+	addrRec.Records = []Record{
+		{EIP: 0x1000, Class: ClassLoad, Flags: RecFirst | RecHasAddr, Addr: 0x8000, Size: 4},
+	}
+	if _, err := addrRec.Slots(); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("addr count mismatch: err = %v, want ErrInconsistent", err)
+	}
+
+	ok := base
+	ok.Records = []Record{{EIP: 0x1000, Class: ClassSync, Flags: RecFirst}}
+	if _, err := ok.Slots(); err != nil {
+		t.Fatalf("consistent trace rejected: %v", err)
 	}
 }
 

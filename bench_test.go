@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/opt"
 	"repro/internal/pipeline"
+	"repro/internal/reuse"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
@@ -382,6 +383,29 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		tel.SetEnabled(false)
 		run(b, tel)
 	})
+}
+
+// BenchmarkReuseOverhead pins the cost of the reuse-attribution probe,
+// mirroring BenchmarkTelemetryOverhead's shape. The probe has no
+// enabled/disabled gate: detached (Options.Reuse nil, the default for
+// every non-reuse run) costs exactly one nil check on the retirement
+// path, which is the <2% "off" bar; "attached" runs the full streaming
+// loop detector for reference on what the reuse experiment pays.
+func BenchmarkReuseOverhead(b *testing.B) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, col *reuse.Collector) {
+		for i := 0; i < b.N; i++ {
+			o := sim.Options{MaxInsts: 30_000, DisableCache: true, Reuse: col}
+			if _, err := sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("attached", func(b *testing.B) { run(b, reuse.NewCollector()) })
 }
 
 // BenchmarkTracingOverhead pins the cost of the span-tracing

@@ -16,6 +16,13 @@
 // Without -out, the report continues the BENCH_<n>.json sequence in the
 // current directory (BENCH_1.json, BENCH_2.json, ...).
 //
+// -quick additionally narrows the per-workload sim-wall benchmarks to
+// the reuse-selected representative subset (see internal/reuse): a
+// short attribution pass ranks the suite workloads by covered reuse
+// mass per simulated instruction and only the ranked picks run. Metric
+// names are unchanged, so quick and full reports stay comparable on
+// the shared subset.
+//
 // -log-format/-log-level control structured diagnostics on stderr; the
 // default level is warn so a clean run prints only progress lines and
 // the report path. The embedded replayd benchmark logs through the same
@@ -68,6 +75,26 @@ func main() {
 		}
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *quick {
+		// Quick mode trades coverage for wall time by running only the
+		// reuse-selected representative workloads: a short attribution
+		// pass ranks the suite profiles by covered reuse mass per
+		// simulated instruction, and the sim-wall benchmarks shrink to
+		// that subset (metric names stay full-suite-compatible).
+		qspecs, picks, qerr := benchmark.QuickSuite(ctx)
+		if qerr != nil {
+			fatal(qerr)
+		}
+		specs = qspecs
+		for _, p := range picks {
+			fmt.Fprintf(os.Stderr, "benchd: subset rank %d: %s (coverage %.1f%%, cost share %.1f%%)\n",
+				p.Rank, p.Name, 100*p.Coverage, 100*p.CostFrac)
+		}
+	}
 	specs, err = benchmark.Filter(specs, *run)
 	if err != nil {
 		fatal(err)
@@ -94,9 +121,6 @@ func main() {
 			fatal(err)
 		}
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	rep, err := benchmark.RunSuite(ctx, specs, settings, func(line string) {
 		fmt.Fprintln(os.Stderr, "benchd:", line)
 	})

@@ -13,6 +13,7 @@
 //	replayctl -metrics [-raw]
 //	replayctl -traces
 //	replayctl -trace 0af7651916cd43dd8448eb211c80319c
+//	replayctl -reuse job-000001
 //
 // -upload sends an external uop-trace file (tracegen -export) to the
 // daemon's POST /v1/traces spool and prints its content-addressed ID;
@@ -24,6 +25,10 @@
 // trace ID, and -trace <id> fetches that span trace back from
 // /debug/traces/{id} as a flame-style text view (-json for the raw
 // spans). -traces lists what the daemon's tail sampler kept.
+//
+// -reuse fetches a finished reuse job's report from /debug/reuse?job=ID
+// and renders the loop-depth decomposition, heaviest loops, and the
+// ranked representative workload subset (-json for the raw report).
 //
 // -metrics renders the daemon's Prometheus exposition as tables and
 // per-bucket histogram bars, with OpenMetrics exemplars (the trace IDs
@@ -48,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracing"
 )
@@ -70,6 +76,7 @@ func main() {
 	traceOut := flag.String("job-trace", "", "request a frame-lifecycle trace and save the Chrome trace_event JSON to this file")
 	traceID := flag.String("trace", "", "fetch one span trace by ID from /debug/traces and print its flame view (-json for the raw spans)")
 	traces := flag.Bool("traces", false, "list the span traces kept by the daemon's tail sampler and exit")
+	reuseJob := flag.String("reuse", "", "fetch a finished reuse job's report from /debug/reuse and render it")
 	upload := flag.String("upload", "", "upload an external uop-trace file to the daemon's spool and exit")
 	runTrace := flag.String("run-trace", "", "run a spooled external trace by content ID")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
@@ -95,6 +102,10 @@ func main() {
 		}
 	case *traces:
 		if err := listTraces(client, base); err != nil {
+			fatal(err)
+		}
+	case *reuseJob != "":
+		if err := showReuse(client, base, *reuseJob, *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *traceID != "":
@@ -268,6 +279,74 @@ func uploadTrace(client *http.Client, base, path string, jsonOut bool) error {
 	fmt.Printf("%s %s: id %s (%d records, %d insts, %d bytes)\n",
 		verb, path, info.ID, info.Records, info.Insts, info.Bytes)
 	fmt.Printf("run it with: replayctl -run-trace %s\n", info.ID)
+	return nil
+}
+
+// showReuse fetches a finished reuse job's report and renders the
+// per-workload loop-depth decomposition, each workload's heaviest
+// loops, and the ranked representative subset — the client-side twin of
+// replaysim's -experiment reuse table.
+func showReuse(client *http.Client, base, jobID string, jsonOut bool) error {
+	var buf bytes.Buffer
+	if err := get(client, base+"/debug/reuse?job="+jobID, &buf); err != nil {
+		return err
+	}
+	if jsonOut {
+		os.Stdout.Write(append(bytes.TrimRight(buf.Bytes(), "\n"), '\n'))
+		return nil
+	}
+	var rep sim.ReuseReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		return fmt.Errorf("decoding reuse report: %w", err)
+	}
+	fmt.Printf("reuse report for %s (%d workloads)\n\n", jobID, len(rep.Rows))
+	t := stats.NewTable("Workload", "Loops", "Loop uops", "Straight", "d1", "d2", "d3+", "Hits/loop", "Evict")
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		var loopHits, evicts uint64
+		for b := 0; b < len(r.Report.Buckets); b++ {
+			evicts += r.Report.Buckets[b].Evictions
+			if b > 0 {
+				loopHits += r.Report.Buckets[b].FrameHits
+			}
+		}
+		pct := func(b int) string {
+			if r.Report.TotalUOps == 0 {
+				return "0%"
+			}
+			return fmt.Sprintf("%.0f%%", 100*float64(r.Report.Bucket(b).UOps)/float64(r.Report.TotalUOps))
+		}
+		t.Row(r.Workload, r.Report.Loops,
+			fmt.Sprintf("%.0f%%", 100*r.Report.LoopFrac()),
+			pct(0), pct(1), pct(2), pct(3), loopHits, evicts)
+	}
+	t.Write(os.Stdout)
+
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		if len(r.Report.TopLoops) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s heaviest loops:\n", r.Workload)
+		lt := stats.NewTable("Trace", "Header", "Tail", "Nest", "Trips", "uops")
+		for _, l := range r.Report.TopLoops {
+			lt.Row(l.Trace, fmt.Sprintf("0x%x", l.Header), fmt.Sprintf("0x%x", l.Tail),
+				l.Nest, fmt.Sprintf("%.1f", l.TripCount()), l.UOps)
+		}
+		lt.Write(os.Stdout)
+	}
+
+	if len(rep.Subset) > 0 {
+		fmt.Println("\nrepresentative subset (greedy, covered reuse mass per simulated instruction):")
+		st := stats.NewTable("Rank", "Workload", "Gain", "Coverage", "Cost share")
+		for _, p := range rep.Subset {
+			st.Row(p.Rank, p.Name,
+				fmt.Sprintf("%.3f", p.Gain),
+				fmt.Sprintf("%.1f%%", 100*p.Coverage),
+				fmt.Sprintf("%.1f%%", 100*p.CostFrac))
+		}
+		st.Write(os.Stdout)
+	}
 	return nil
 }
 

@@ -8,7 +8,8 @@
 //
 // Experiments: table1, table2, fig6, fig7, fig8, table3, fig9, fig10,
 // summary (a compact calibration view), attr (per-pass optimization
-// attribution), all.
+// attribution), reuse (loop-structure reuse attribution and the
+// representative workload subset), all.
 //
 // -load replays an external uop trace (tracegen -export, binary or
 // NDJSON, auto-detected) through one processor mode and prints the
@@ -110,6 +111,8 @@ func main() {
 		err = summary(opts, *jsonOut)
 	case "attr":
 		err = attrTable(opts, *jsonOut)
+	case "reuse":
+		err = reuseTable(opts, *jsonOut)
 	case "all":
 		if !*jsonOut {
 			table1()
@@ -237,6 +240,63 @@ func attrTable(opts repro.ExpOptions, jsonOut bool) error {
 		t.Write(os.Stdout)
 		fmt.Println()
 	}
+	return nil
+}
+
+// reuseTable runs the RPO configuration with loop-structure reuse
+// attribution and prints, per workload, the depth-bucket decomposition
+// of retired work and frame-lifecycle events, the heaviest loops, and
+// the ranked representative workload subset. The bucket sums equal the
+// pipeline's own retired totals (the conservation invariant pinned by
+// the reuse tests).
+func reuseTable(opts repro.ExpOptions, jsonOut bool) error {
+	rep, err := repro.ReuseData(opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpReuse, Reuse: rep})
+	}
+	fmt.Println("== Loop-structure reuse attribution (RPO) ==")
+	t := stats.NewTable("Workload", "Loops", "Loop uops", "Straight", "d1", "d2", "d3+", "Top trip", "Hit/d1+")
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		var topTrip float64
+		if len(r.Report.TopLoops) > 0 {
+			topTrip = r.Report.TopLoops[0].TripCount()
+		}
+		var loopHits uint64
+		for b := 1; b < len(r.Report.Buckets); b++ {
+			loopHits += r.Report.Buckets[b].FrameHits
+		}
+		pct := func(b int) string {
+			if r.Report.TotalUOps == 0 {
+				return "0%"
+			}
+			return fmt.Sprintf("%.0f%%", 100*float64(r.Report.Bucket(b).UOps)/float64(r.Report.TotalUOps))
+		}
+		t.Row(r.Workload, r.Report.Loops,
+			fmt.Sprintf("%.0f%%", 100*r.Report.LoopFrac()),
+			pct(0), pct(1), pct(2), pct(3),
+			fmt.Sprintf("%.1f", topTrip), loopHits)
+	}
+	t.Write(os.Stdout)
+
+	fmt.Println("\nreuse-mass fraction (baseline uops retired inside loops):")
+	for i := range rep.Rows {
+		stats.Bar(os.Stdout, rep.Rows[i].Workload, rep.Rows[i].Report.LoopFrac(), 1.0, 50, "%.2f")
+	}
+
+	fmt.Println("\n== Representative subset (greedy, covered reuse mass per simulated instruction) ==")
+	st := stats.NewTable("Rank", "Workload", "Gain", "Coverage", "Cost share")
+	for _, p := range rep.Subset {
+		st.Row(p.Rank, p.Name,
+			fmt.Sprintf("%.3f", p.Gain),
+			fmt.Sprintf("%.1f%%", 100*p.Coverage),
+			fmt.Sprintf("%.1f%%", 100*p.CostFrac))
+	}
+	st.Write(os.Stdout)
+	fmt.Println()
 	return nil
 }
 

@@ -22,6 +22,11 @@ type (
 	Fig10Row = sim.Fig10Row
 	// AttrRow is one application's per-pass optimization attribution.
 	AttrRow = sim.AttrRow
+	// ReuseRow is one application's loop-structure reuse decomposition.
+	ReuseRow = sim.ReuseRow
+	// ReuseReport is the reuse decomposition plus the ranked
+	// representative workload subset.
+	ReuseReport = sim.ReuseReport
 )
 
 // ExpOptions configures an experiment sweep.
@@ -144,4 +149,18 @@ func AttributionData(o ExpOptions) ([]AttrRow, error) {
 		return nil, err
 	}
 	return sim.Attribution(o.ctx(), ps, o.simOptions())
+}
+
+// ReuseData runs the RPO configuration with loop-structure reuse
+// attribution: per application, retired micro-ops and frame-lifecycle
+// events split by {loop-depth bucket, instruction class}, the heaviest
+// loops with trip counts, and the greedy representative workload
+// subset ranked by covered reuse mass per unit simulated cost. Reuse
+// attribution forces execution, so the sweep ignores the run memo.
+func ReuseData(o ExpOptions) (*ReuseReport, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Reuse(o.ctx(), ps, o.simOptions())
 }

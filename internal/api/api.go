@@ -32,10 +32,15 @@ const (
 	// attribution: which optimizer pass killed or rewrote how many
 	// micro-ops, per workload.
 	ExpAttr = "attr"
+	// ExpReuse runs the RPO configuration with loop-structure reuse
+	// attribution: retired work and frame-lifecycle events per
+	// {loop-depth bucket, instruction class}, trip-counted loops, and
+	// the ranked representative workload subset.
+	ExpReuse = "reuse"
 )
 
 // Experiments lists every accepted experiment name.
-var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr}
+var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr, ExpReuse}
 
 // ConfigOverrides carries the per-request Table 2 edits the service
 // accepts. Zero fields keep the mode's default; the names mirror
@@ -254,6 +259,7 @@ type RunResponse struct {
 	Fig10      []sim.Fig10Row     `json:"fig10,omitempty"`
 	Cells      []Cell             `json:"cells,omitempty"`
 	Attr       []sim.AttrRow      `json:"attr,omitempty"`
+	Reuse      *sim.ReuseReport   `json:"reuse,omitempty"`
 }
 
 // Job states.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/opt"
 	"repro/internal/pipeline"
+	"repro/internal/reuse"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -38,12 +39,56 @@ var suiteProfiles = []string{"gzip", "access", "photo"}
 //     in-process replayd core with a warmed run memo, i.e. the serving
 //     overhead (routing, coalescing, queueing, JSON) around a hot job.
 func Suite() []Spec {
+	return suiteFor(suiteProfiles)
+}
+
+func suiteFor(profiles []string) []Spec {
 	var specs []Spec
-	for _, name := range suiteProfiles {
+	for _, name := range profiles {
 		specs = append(specs, simWallSpec(name))
 	}
 	specs = append(specs, engineSpec(), optSpec(), replaydSpec())
 	return specs
+}
+
+// selectInsts is the per-trace budget of the quick suite's subset-
+// selection pass: enough retirement for stable loop signatures, small
+// enough that selection stays a fraction of one benchmark repetition.
+const selectInsts = 20_000
+
+// QuickSuite returns the reduced suite benchd -quick runs: a short
+// reuse-attribution pass over the suite profiles picks the greedy
+// representative subset (workloads covering reuse.DefaultCoverage of
+// the suite's reuse mass at the least simulated cost), and only those
+// workloads keep their sim_wall_ms benchmarks. The non-per-profile
+// specs (engine, optimizer, replayd serving) always run. Metric names
+// are unchanged from the full suite, so quick and full reports compare
+// metric-for-metric on the shared subset.
+func QuickSuite(ctx context.Context) ([]Spec, []reuse.SubsetPick, error) {
+	profiles := make([]workload.Profile, len(suiteProfiles))
+	for i, name := range suiteProfiles {
+		profiles[i] = mustProfile(name)
+	}
+	rep, err := sim.Reuse(ctx, profiles, sim.Options{MaxInsts: selectInsts})
+	if err != nil {
+		return nil, nil, fmt.Errorf("subset selection: %w", err)
+	}
+	selected := make(map[string]bool, len(rep.Subset))
+	for _, p := range rep.Subset {
+		selected[p.Name] = true
+	}
+	var keep []string
+	for _, name := range suiteProfiles {
+		if selected[name] {
+			keep = append(keep, name)
+		}
+	}
+	if len(keep) == 0 {
+		// Degenerate selection (e.g. zero reuse mass everywhere): fall
+		// back to the full profile set rather than an empty suite.
+		keep = suiteProfiles
+	}
+	return suiteFor(keep), rep.Subset, nil
 }
 
 func simWallSpec(profile string) Spec {

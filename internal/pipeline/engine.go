@@ -107,6 +107,10 @@ type Engine struct {
 	telRun      int
 	telInsertAt map[uint32]uint64 // frame-cache insert cycle per PC, for residency
 
+	// Reuse attribution probe (see SetReuse); nil unless attached, so
+	// the disabled cost on the retirement path is one nil check.
+	reuse ReuseProbe
+
 	// Wall-clock pass timing (see SetPassRecorder); nil unless a span
 	// trace is being assembled for this run.
 	passRec opt.TimedPassRecorder
@@ -650,6 +654,11 @@ func (e *Engine) fetchICache() {
 			}
 		}
 		e.retireSlot(&s, false, len(s.UOps), loads)
+		// Hook kept out of retireSlot so it stays inlinable at the
+		// retirement sites; the detached cost is this one nil check.
+		if e.reuse != nil {
+			e.reuse.ReuseSlot(s, false, len(s.UOps))
+		}
 		e.feedConstructor(&s)
 
 		// Control-flow handling.

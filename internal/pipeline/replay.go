@@ -13,6 +13,9 @@ import (
 // slot is busy are dropped, as in the paper's design discussion.
 func (e *Engine) depositFrame(f *frame.Frame) {
 	e.stats.FramesConstructed++
+	if e.reuse != nil {
+		e.reuse.ReuseFrameBuilt()
+	}
 	if e.DepositHook != nil {
 		e.DepositHook(f)
 	}
@@ -102,6 +105,9 @@ func (e *Engine) startOptimizations() {
 		}
 		e.accumulateOpt(st)
 		e.stats.FramesOptimized++
+		if e.reuse != nil {
+			e.reuse.ReuseOptRemoved(st.UOpsIn - st.UOpsOut)
+		}
 		dwell := uint64(e.cfg.OptCyclesPerUOp * len(f.UOps))
 		done := e.cycle + dwell
 		e.optSlots[slot] = done
@@ -188,6 +194,9 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 
 	e.switchTo(srcFC)
 	e.stats.FrameFetches++
+	if e.reuse != nil {
+		e.reuse.ReuseFrameHit()
+	}
 	fetchStart := e.cycle
 	savedArch := e.archReady
 
@@ -348,6 +357,9 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 		e.stats.UOpsBaseline += uint64(base)
 		e.stats.LoadsBaseline += uint64(loads)
 		e.stats.CoveredBaseline += uint64(base)
+		if e.reuse != nil {
+			e.reuse.ReuseSlot(*s, true, 0)
+		}
 		e.trainPredictors(s)
 	}
 	// The region is covered: extend the pending frame with this frame's
@@ -379,6 +391,9 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 	}
 	e.stats.UOpsRetired += uint64(validOps)
 	e.stats.LoadsRetired += uint64(validLoads)
+	if e.reuse != nil {
+		e.reuse.ReuseFrameRetired(validOps)
+	}
 
 	// Live-out scoreboard updates.
 	for r := 0; r < 8; r++ {

@@ -119,6 +119,9 @@ func (e *Engine) fetchTraceEntry(tr *traceEntry) {
 			}
 		}
 		e.retireSlot(&s, true, len(s.UOps), loads)
+		if e.reuse != nil {
+			e.reuse.ReuseSlot(s, true, len(s.UOps))
+		}
 		e.feedConstructor(&s)
 
 		// Trace-internal control: unlike the decoded path, a correctly

@@ -31,30 +31,73 @@ func (e *Engine) SetTelemetry(tel *telemetry.Collector, run int) {
 	if tel != nil && e.telInsertAt == nil {
 		e.telInsertAt = make(map[uint32]uint64)
 	}
-	wireCacheTelemetry(e, e.frames)
-	wireCacheTelemetry(e, e.traces)
+	wireCacheHooks(e, e.frames)
+	wireCacheHooks(e, e.traces)
 }
 
-// wireCacheTelemetry installs (or removes) the UOpCache observation
-// hooks. A package-level generic function because methods cannot have
-// type parameters.
-func wireCacheTelemetry[T any](e *Engine, c *cache.UOpCache[T]) {
+// ReuseProbe observes retirement-ordered slots and frame-lifecycle
+// events for loop-structure reuse attribution (see internal/reuse).
+// All methods are called on the engine goroutine; attribution is
+// conservative — each retired instruction and each event is reported
+// exactly once, so probe totals sum to the corresponding Stats
+// counters over the same window.
+type ReuseProbe interface {
+	// ReuseSlot sees every retired x86 instruction in retirement order.
+	// fromFrame marks slots covered by a committed frame or trace-cache
+	// line; uopsExecuted is the post-optimization micro-op count retired
+	// with the slot (0 on the frame path, whose optimized body arrives
+	// in bulk via ReuseFrameRetired).
+	ReuseSlot(s Slot, fromFrame bool, uopsExecuted int)
+	// ReuseFrameBuilt fires once per frame the constructor deposits
+	// (sums to Stats.FramesConstructed).
+	ReuseFrameBuilt()
+	// ReuseFrameHit fires once per frame-cache fetch (sums to
+	// Stats.FrameFetches).
+	ReuseFrameHit()
+	// ReuseFrameRetired reports a committed frame's executed micro-ops
+	// (with the decoded paths' uopsExecuted, sums to Stats.UOpsRetired).
+	ReuseFrameRetired(uops int)
+	// ReuseOptRemoved reports micro-ops an optimizer run removed (sums
+	// to Stats.Opt.Removed()).
+	ReuseOptRemoved(removed int)
+	// ReuseEvict fires once per frame/trace-cache eviction.
+	ReuseEvict()
+}
+
+// SetReuse attaches a reuse-attribution probe. Like SetTelemetry it
+// lives on the Engine, not Config, so the memo-key fingerprint stays a
+// pure value; attach after warmup so the probe covers exactly the
+// measured window ResetStats draws. Detach by passing nil.
+func (e *Engine) SetReuse(p ReuseProbe) {
+	e.reuse = p
+	wireCacheHooks(e, e.frames)
+	wireCacheHooks(e, e.traces)
+}
+
+// wireCacheHooks installs (or removes) the UOpCache observation hooks
+// for whichever of telemetry and the reuse probe is attached. A
+// package-level generic function because methods cannot have type
+// parameters.
+func wireCacheHooks[T any](e *Engine, c *cache.UOpCache[T]) {
 	if c == nil {
 		return
 	}
-	if e.tel == nil {
+	if e.tel == nil && e.reuse == nil {
 		c.OnInsert, c.OnEvict, c.OnHit = nil, nil, nil
 		return
 	}
 	c.OnInsert = func(pc uint32, size int) {
-		if !e.tel.Enabled() {
+		if e.tel == nil || !e.tel.Enabled() {
 			return
 		}
 		e.telInsertAt[pc] = e.cycle
 		e.tel.CacheInsert(e.telRun, e.cycle, pc, size)
 	}
 	c.OnEvict = func(pc uint32, size int) {
-		if !e.tel.Enabled() {
+		if e.reuse != nil {
+			e.reuse.ReuseEvict()
+		}
+		if e.tel == nil || !e.tel.Enabled() {
 			return
 		}
 		var residency uint64
@@ -65,7 +108,9 @@ func wireCacheTelemetry[T any](e *Engine, c *cache.UOpCache[T]) {
 		e.tel.CacheEvict(e.telRun, e.cycle, pc, size, residency)
 	}
 	c.OnHit = func(pc uint32) {
-		e.tel.CacheHit(e.telRun, e.cycle, pc)
+		if e.tel != nil {
+			e.tel.CacheHit(e.telRun, e.cycle, pc)
+		}
 	}
 }
 

@@ -1,0 +1,169 @@
+package reuse
+
+import "sort"
+
+// DefaultCoverage is the covered-mass fraction the representative
+// subset aims for: enough that every behavior dimension with real mass
+// has a proxy in the subset, while the tail of near-duplicate workloads
+// is dropped.
+const DefaultCoverage = 0.95
+
+// SubsetItem is one candidate workload for representative-subset
+// selection: its reuse signature (see Signature) and its simulation
+// cost (any consistent unit — simulated instructions or measured wall
+// time).
+type SubsetItem struct {
+	Name string
+	Cost float64
+	Mass []float64
+}
+
+// SubsetPick is one selected workload in rank order.
+type SubsetPick struct {
+	Rank int    `json:"rank"`
+	Name string `json:"name"`
+	// Gain is the reuse mass this pick newly covered.
+	Gain float64 `json:"gain"`
+	// Coverage is the cumulative covered fraction of total reuse mass
+	// after this pick.
+	Coverage float64 `json:"coverage"`
+	Cost     float64 `json:"cost"`
+	// CostFrac is the cumulative cost fraction of the full set.
+	CostFrac float64 `json:"cost_frac"`
+}
+
+// Select greedily picks a representative subset: the facility-location
+// objective counts a signature dimension as covered in proportion to
+// the best selected workload's share of the dimension's per-workload
+// maximum, weighted by the dimension's total mass. Each step takes the
+// workload with the best marginal covered mass per unit cost, stopping
+// once the cumulative coverage reaches target (clamped to (0, 1]).
+// The objective is submodular, so the greedy order is the classic
+// (1-1/e)-approximation; ties break toward lower cost, then input
+// order, making the ranking deterministic.
+func Select(items []SubsetItem, target float64) []SubsetPick {
+	if len(items) == 0 {
+		return nil
+	}
+	if target <= 0 || target > 1 {
+		target = DefaultCoverage
+	}
+	dims := 0
+	for _, it := range items {
+		if len(it.Mass) > dims {
+			dims = len(it.Mass)
+		}
+	}
+	mass := func(it *SubsetItem, d int) float64 {
+		if d < len(it.Mass) && it.Mass[d] > 0 {
+			return it.Mass[d]
+		}
+		return 0
+	}
+	// Per-dimension weight (total mass) and per-workload maximum.
+	w := make([]float64, dims)
+	max := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		for i := range items {
+			m := mass(&items[i], d)
+			w[d] += m
+			if m > max[d] {
+				max[d] = m
+			}
+		}
+	}
+	var total, totalCost float64
+	for _, wd := range w {
+		total += wd
+	}
+	for i := range items {
+		totalCost += cost(&items[i])
+	}
+	if total == 0 {
+		// No reuse mass anywhere: fall back to the single cheapest item
+		// so callers always get a runnable subset.
+		best := 0
+		for i := range items {
+			if cost(&items[i]) < cost(&items[best]) {
+				best = i
+			}
+		}
+		return []SubsetPick{{Rank: 1, Name: items[best].Name, Coverage: 1,
+			Cost: items[best].Cost, CostFrac: cost(&items[best]) / totalCost}}
+	}
+
+	cur := make([]float64, dims) // covered share per dimension, in [0,1]
+	picked := make([]bool, len(items))
+	var picks []SubsetPick
+	var covered, spent float64
+	for len(picks) < len(items) {
+		best, bestGain, bestRate := -1, 0.0, -1.0
+		for i := range items {
+			if picked[i] {
+				continue
+			}
+			var gain float64
+			for d := 0; d < dims; d++ {
+				if max[d] == 0 {
+					continue
+				}
+				if share := mass(&items[i], d) / max[d]; share > cur[d] {
+					gain += w[d] * (share - cur[d])
+				}
+			}
+			rate := gain / cost(&items[i])
+			if rate > bestRate || (rate == bestRate && best >= 0 && cost(&items[i]) < cost(&items[best])) {
+				best, bestGain, bestRate = i, gain, rate
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break
+		}
+		picked[best] = true
+		it := &items[best]
+		for d := 0; d < dims; d++ {
+			if max[d] == 0 {
+				continue
+			}
+			if share := mass(it, d) / max[d]; share > cur[d] {
+				cur[d] = share
+			}
+		}
+		covered += bestGain
+		spent += cost(it)
+		picks = append(picks, SubsetPick{
+			Rank:     len(picks) + 1,
+			Name:     it.Name,
+			Gain:     bestGain,
+			Coverage: covered / total,
+			Cost:     it.Cost,
+			CostFrac: spent / totalCost,
+		})
+		if covered/total >= target {
+			break
+		}
+	}
+	return picks
+}
+
+func cost(it *SubsetItem) float64 {
+	if it.Cost > 0 {
+		return it.Cost
+	}
+	return 1
+}
+
+// Names returns the picked workload names in rank order.
+func Names(picks []SubsetPick) []string {
+	out := make([]string, len(picks))
+	for i, p := range picks {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// SortItems orders items deterministically by name (stable input for
+// Select when callers assemble them from a map).
+func SortItems(items []SubsetItem) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+}

@@ -1,0 +1,98 @@
+package reuse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSelectOrthogonal: two workloads with disjoint mass dimensions
+// both get picked — neither can proxy the other's behavior.
+func TestSelectOrthogonal(t *testing.T) {
+	items := []SubsetItem{
+		{Name: "a", Cost: 100, Mass: []float64{10, 0}},
+		{Name: "b", Cost: 100, Mass: []float64{0, 10}},
+	}
+	picks := Select(items, 0.99)
+	if got := Names(picks); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("picks = %v, want [a b]", got)
+	}
+	if picks[1].Coverage < 0.99 {
+		t.Errorf("final coverage %.3f < 0.99", picks[1].Coverage)
+	}
+}
+
+// TestSelectRedundantDropped: a workload whose signature is a scaled
+// copy of a larger one adds no marginal coverage once the larger one is
+// in, so the subset stops before it.
+func TestSelectRedundantDropped(t *testing.T) {
+	items := []SubsetItem{
+		{Name: "big", Cost: 100, Mass: []float64{100, 50}},
+		{Name: "copy", Cost: 100, Mass: []float64{80, 40}}, // dominated
+	}
+	picks := Select(items, 0.9)
+	if got := Names(picks); !reflect.DeepEqual(got, []string{"big"}) {
+		t.Fatalf("picks = %v, want [big]: dominated workload must be dropped", got)
+	}
+	if picks[0].Coverage < 0.9 {
+		t.Errorf("coverage %.3f < target 0.9", picks[0].Coverage)
+	}
+}
+
+// TestSelectRateNotMass: greedy ranks by covered mass per unit cost,
+// so a cheap workload covering most of the mass outranks an expensive
+// one covering slightly more.
+func TestSelectRateNotMass(t *testing.T) {
+	items := []SubsetItem{
+		{Name: "expensive", Cost: 1000, Mass: []float64{100}},
+		{Name: "cheap", Cost: 10, Mass: []float64{90}},
+	}
+	picks := Select(items, 0.99)
+	if len(picks) == 0 || picks[0].Name != "cheap" {
+		t.Fatalf("first pick = %v, want cheap (rate 9.0 vs 0.1)", Names(picks))
+	}
+}
+
+// TestSelectZeroMassFallback: with no reuse mass anywhere the selector
+// still returns a runnable subset — the single cheapest workload.
+func TestSelectZeroMassFallback(t *testing.T) {
+	items := []SubsetItem{
+		{Name: "a", Cost: 300},
+		{Name: "b", Cost: 100},
+		{Name: "c", Cost: 200},
+	}
+	picks := Select(items, 0.95)
+	if len(picks) != 1 || picks[0].Name != "b" || picks[0].Coverage != 1 {
+		t.Fatalf("picks = %+v, want single pick b with coverage 1", picks)
+	}
+}
+
+// TestSelectDeterministic: equal inputs produce identical rankings.
+func TestSelectDeterministic(t *testing.T) {
+	items := []SubsetItem{
+		{Name: "a", Cost: 50, Mass: []float64{5, 1, 0}},
+		{Name: "b", Cost: 50, Mass: []float64{0, 4, 3}},
+		{Name: "c", Cost: 50, Mass: []float64{2, 2, 2}},
+	}
+	first := Select(items, 0.95)
+	for i := 0; i < 10; i++ {
+		if got := Select(items, 0.95); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got, first)
+		}
+	}
+}
+
+// TestSelectEmpty: no items, no picks.
+func TestSelectEmpty(t *testing.T) {
+	if picks := Select(nil, 0.95); picks != nil {
+		t.Fatalf("picks = %+v, want nil", picks)
+	}
+}
+
+// TestSortItems pins the deterministic pre-sort.
+func TestSortItems(t *testing.T) {
+	items := []SubsetItem{{Name: "c"}, {Name: "a"}, {Name: "b"}}
+	SortItems(items)
+	if items[0].Name != "a" || items[2].Name != "c" {
+		t.Fatalf("sorted order wrong: %+v", items)
+	}
+}

@@ -116,6 +116,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("replayd_pipeline_frames_constructed_total", "Frames constructed across executed runs.", float64(agg.FramesConstructed))
 	p.Counter("replayd_pipeline_frames_optimized_total", "Frames optimized across executed runs.", float64(agg.FramesOptimized))
 
+	// Loop-structure reuse attribution, folded from finished reuse-
+	// experiment jobs: per-depth-bucket counters plus loop-shape
+	// histograms whose exemplars point at contributing jobs' traces.
+	s.rmet.render(p)
+
 	// Frame-lifecycle histograms from the telemetry layer: every job
 	// (traced or not) observes into the same histogram set. Memoized
 	// runs execute nothing and so contribute no samples.

@@ -65,6 +65,8 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 		res.Cells, err = runCells(ctx, profiles, mode, opts)
 	case api.ExpAttr:
 		res.Attr, err = sim.Attribution(ctx, profiles, opts)
+	case api.ExpReuse:
+		res.Reuse, err = sim.Reuse(ctx, profiles, opts)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
 	}
@@ -108,7 +110,7 @@ func runCount(experiment string, profiles int) int {
 		return 8 * len(sim.Fig10Workloads)
 	case api.ExpSummary:
 		return 6 * profiles
-	case api.ExpCell, api.ExpAttr:
+	case api.ExpCell, api.ExpAttr, api.ExpReuse:
 		return profiles
 	}
 	return 0

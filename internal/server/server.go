@@ -272,6 +272,10 @@ type Server struct {
 	// the upload front end is disabled); xmet counts its traffic.
 	spool *xtrace.Spool
 	xmet  xtraceMetrics
+
+	// rmet aggregates finished reuse-experiment jobs for the
+	// replayd_reuse_* metric families.
+	rmet *reuseMetrics
 }
 
 // New starts a server core: the worker pool is live on return.
@@ -289,6 +293,7 @@ func New(cfg Config) *Server {
 		hist:       telemetry.NewHistogramSet(),
 		log:        cfg.Logger,
 		slo:        stats.NewSLOWindow(cfg.SLOWindow, 0),
+		rmet:       newReuseMetrics(),
 	}
 	s.tel = telemetry.New(telemetry.Config{Hist: s.hist})
 	s.traces = tracing.NewStore(tracing.StoreConfig{
@@ -421,6 +426,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/reuse", s.handleReuse)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -688,6 +694,9 @@ func (s *Server) settle(j *job, res *api.RunResponse, err error) {
 	}
 	if err == nil && execDur > 0 {
 		s.met.observeExec(execDur.Seconds())
+	}
+	if err == nil && res != nil && res.Reuse != nil {
+		s.rmet.fold(res.Reuse, j.traceID)
 	}
 	// Close out the job's spans (idempotent: the queue-wait span already
 	// ended if a worker picked the job up). An errored or canceled job

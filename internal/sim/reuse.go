@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/pipeline"
+	"repro/internal/reuse"
+	"repro/internal/workload"
+)
+
+// ReuseRow is one workload's reuse decomposition under the RPO
+// configuration: retired work and frame-lifecycle events attributed to
+// {loop-depth bucket, instruction class}, plus the heaviest detected
+// loops with trip counts and nesting depths.
+type ReuseRow struct {
+	Workload string `json:"workload"`
+	Class    string `json:"class"`
+	// Insts is the measured-window x86 instruction count — the
+	// deterministic cost proxy the subset selector divides reuse mass by.
+	Insts  uint64       `json:"insts"`
+	Report reuse.Report `json:"report"`
+}
+
+// ReuseReport is the -experiment reuse result: the per-workload
+// decomposition rows plus the ranked representative subset.
+type ReuseReport struct {
+	Rows []ReuseRow `json:"rows"`
+	// Subset is the greedy representative selection in rank order:
+	// workloads that together cover reuse.DefaultCoverage of the set's
+	// reuse mass at the least simulated cost.
+	Subset []reuse.SubsetPick `json:"subset"`
+}
+
+// Reuse runs the RPO configuration over each profile with a private
+// reuse collector and assembles the decomposition table and the ranked
+// representative subset. Reuse attribution forces execution (no memo
+// hits), so the rows are exact for the measured runs; rows come back
+// in profile order and the subset in greedy rank order, both
+// deterministic.
+func Reuse(ctx context.Context, profiles []workload.Profile, o Options) (*ReuseReport, error) {
+	cols := make([]*reuse.Collector, len(profiles))
+	results := make([]Result, len(profiles))
+	errs := make([]error, len(profiles))
+	jobs := make([]runJob, len(profiles))
+	for i, p := range profiles {
+		cols[i] = reuse.NewCollector()
+		po := o
+		po.Reuse = cols[i]
+		jobs[i] = runJob{profile: p, mode: pipeline.ModeRePLayOpt, opts: po,
+			out: &results[i], err: &errs[i]}
+	}
+	if err := runAll(ctx, jobs); err != nil {
+		return nil, err
+	}
+	rep := &ReuseReport{Rows: make([]ReuseRow, len(profiles))}
+	items := make([]reuse.SubsetItem, len(profiles))
+	for i, p := range profiles {
+		r := ReuseRow{
+			Workload: p.Name,
+			Class:    p.Class,
+			Insts:    results[i].Stats.X86Retired,
+			Report:   cols[i].Snapshot(),
+		}
+		rep.Rows[i] = r
+		items[i] = reuse.SubsetItem{
+			Name: p.Name,
+			Cost: float64(r.Insts),
+			Mass: reuse.Signature(&r.Report),
+		}
+	}
+	rep.Subset = reuse.Select(items, reuse.DefaultCoverage)
+	return rep, nil
+}

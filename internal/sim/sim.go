@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/pipeline"
+	"repro/internal/reuse"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/translate"
@@ -127,6 +128,14 @@ type Options struct {
 	// it would silently produce no events); a histogram-only collector
 	// keeps memoization, and memo hits simply contribute no samples.
 	Telemetry *telemetry.Collector
+	// Reuse, when set, attaches a loop-structure reuse probe to every
+	// engine after warmup (see internal/reuse): retired work and
+	// frame-lifecycle events are attributed to {loop-depth bucket,
+	// instruction class}. Like attribution telemetry it forces execution
+	// (no run-memo hits — a memoized run would observe nothing) and
+	// keeps the serial per-trace path, so probe totals line up exactly
+	// with the measured-window Stats.
+	Reuse *reuse.Collector
 }
 
 // Result is the aggregated outcome of one workload under one mode.
@@ -182,7 +191,7 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		o.ConfigMod(&cfg)
 	}
 
-	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution()
+	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution() && o.Reuse == nil
 	var key memoKey
 	if useMemo {
 		key = memoKey{profile: profileFingerprint(&p), mode: mode,
@@ -202,7 +211,7 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 	// is bit-identical to the serial loop. Telemetry and span-traced
 	// runs keep the serial path: both attach per-engine observers whose
 	// event interleaving is part of their output.
-	if p.Traces > 1 && o.Telemetry == nil && span == nil {
+	if p.Traces > 1 && o.Telemetry == nil && o.Reuse == nil && span == nil {
 		if err := runTracesParallel(ctx, &res, p, mode, cfg, o, budget, warmFrac); err != nil {
 			return res, err
 		}
@@ -219,6 +228,15 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 			}
 			res.Stats.Add(&st)
 		}
+	}
+	if o.Reuse != nil {
+		// Reuse summary on the sim.run span: how much of the retired mass
+		// sat inside loops, and how much loop structure was found.
+		rep := o.Reuse.Snapshot()
+		span.SetAttr("reuse_loops", rep.Loops)
+		span.SetAttr("reuse_back_edges", rep.BackEdges)
+		span.SetAttr("reuse_loop_uops", rep.LoopUOps)
+		span.SetAttr("reuse_loop_uop_frac", rep.LoopFrac())
 	}
 	recordRun(&res.Stats)
 	if useMemo {
@@ -359,6 +377,14 @@ func runStreamStats(ctx context.Context, name string, stream slotSource, cfg pip
 	if o.Telemetry != nil {
 		run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", name, mode, t))
 		eng.SetTelemetry(o.Telemetry, run)
+	}
+	// The reuse probe attaches at the same boundary, so its attribution
+	// covers exactly the measured window and its totals equal the
+	// window's Stats counters (the conservation invariant).
+	if o.Reuse != nil {
+		probe := o.Reuse.Attach(t)
+		eng.SetReuse(probe)
+		defer probe.Close()
 	}
 	eng.ResetStats()
 	mctx, mspan := tracing.Start(ctx, "sim.measure")

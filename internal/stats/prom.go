@@ -62,6 +62,27 @@ func exemplarSuffix(s HistogramSnapshot, i int) string {
 		float64(ex.Ts.UnixNano())/1e9)
 }
 
+// LabeledSample is one sample of a single-label metric family.
+type LabeledSample struct {
+	Label string
+	Value float64
+}
+
+// LabeledCounter emits a counter family with one label dimension: one
+// sample line per entry, in the given order. replayd uses it for the
+// per-loop-depth-bucket reuse counters, where the label set is small
+// and fixed.
+func (p *Prom) LabeledCounter(name, help, label string, samples []LabeledSample) {
+	if p.err != nil {
+		return
+	}
+	p.header(name, help, "counter")
+	for _, s := range samples {
+		p.printf("%s{%s=%q} %s\n", name, label, s.Label,
+			strconv.FormatFloat(s.Value, 'g', -1, 64))
+	}
+}
+
 // SummaryQuantile is one pre-computed quantile of a Summary.
 type SummaryQuantile struct {
 	Q float64 // quantile in 0..1

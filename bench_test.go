@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cycleprof"
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/reuse"
@@ -406,6 +407,30 @@ func BenchmarkReuseOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("attached", func(b *testing.B) { run(b, reuse.NewCollector()) })
+}
+
+// BenchmarkCycleProfOverhead pins the cost of the guest-cycle profiler,
+// mirroring BenchmarkReuseOverhead's shape. Detached (Options.CycleProf
+// nil, the default for every non-cycles run) the fetch stage pays one
+// nil check per charged cycle — the "off" bar, which must stay within
+// noise of the un-instrumented pipeline. "Attached" runs the full
+// per-PC attribution plus the embedded loop detector, the price of the
+// cycles experiment itself.
+func BenchmarkCycleProfOverhead(b *testing.B) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, col *cycleprof.Collector) {
+		for i := 0; i < b.N; i++ {
+			o := sim.Options{MaxInsts: 30_000, DisableCache: true, CycleProf: col}
+			if _, err := sim.RunWorkload(context.Background(), p, pipeline.ModeRePLayOpt, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("attached", func(b *testing.B) { run(b, cycleprof.NewCollector()) })
 }
 
 // BenchmarkTracingOverhead pins the cost of the span-tracing

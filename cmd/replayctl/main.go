@@ -14,6 +14,7 @@
 //	replayctl -traces
 //	replayctl -trace 0af7651916cd43dd8448eb211c80319c
 //	replayctl -reuse job-000001
+//	replayctl -profile job-000002 [-pprof-out guest.pb.gz]
 //
 // -upload sends an external uop-trace file (tracegen -export) to the
 // daemon's POST /v1/traces spool and prints its content-addressed ID;
@@ -29,6 +30,11 @@
 // -reuse fetches a finished reuse job's report from /debug/reuse?job=ID
 // and renders the loop-depth decomposition, heaviest loops, and the
 // ranked representative workload subset (-json for the raw report).
+//
+// -profile fetches a finished cycles job's guest-cycle profile from
+// /debug/profile?job=ID and renders the per-bin cycle split and the
+// top-N loop and PC hotspots (-json for the raw report); -pprof-out
+// saves the gzipped pprof export alongside, for `go tool pprof`.
 //
 // -metrics renders the daemon's Prometheus exposition as tables and
 // per-bucket histogram bars, with OpenMetrics exemplars (the trace IDs
@@ -53,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracing"
@@ -77,6 +84,8 @@ func main() {
 	traceID := flag.String("trace", "", "fetch one span trace by ID from /debug/traces and print its flame view (-json for the raw spans)")
 	traces := flag.Bool("traces", false, "list the span traces kept by the daemon's tail sampler and exit")
 	reuseJob := flag.String("reuse", "", "fetch a finished reuse job's report from /debug/reuse and render it")
+	profileJob := flag.String("profile", "", "fetch a finished cycles job's guest-cycle profile from /debug/profile and render it")
+	pprofOut := flag.String("pprof-out", "", "with -profile, also save the gzipped pprof export to this file")
 	upload := flag.String("upload", "", "upload an external uop-trace file to the daemon's spool and exit")
 	runTrace := flag.String("run-trace", "", "run a spooled external trace by content ID")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
@@ -106,6 +115,10 @@ func main() {
 		}
 	case *reuseJob != "":
 		if err := showReuse(client, base, *reuseJob, *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *profileJob != "":
+		if err := showProfile(client, base, *profileJob, *pprofOut, *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *traceID != "":
@@ -166,7 +179,7 @@ func printMetrics(r io.Reader, w io.Writer) error {
 		return err
 	}
 	t := stats.NewTable("Metric", "Type", "Value")
-	var hists, summaries []stats.PromFamily
+	var hists, summaries, labeled []stats.PromFamily
 	for _, f := range fams {
 		switch f.Type {
 		case "histogram":
@@ -176,9 +189,26 @@ func printMetrics(r io.Reader, w io.Writer) error {
 			summaries = append(summaries, f)
 			continue
 		}
+		if len(f.Labeled) > 0 {
+			labeled = append(labeled, f)
+		}
 		t.Row(f.Name, f.Type, strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f.Value), "0"), "."))
 	}
 	t.Write(w)
+	// Labeled families (one counter per bin/bucket) get a bar breakdown:
+	// the table row above shows their sum.
+	for _, f := range labeled {
+		fmt.Fprintf(w, "\n%s by label:\n", f.Name)
+		maxV := 1.0
+		for _, s := range f.Labeled {
+			if s.Value > maxV {
+				maxV = s.Value
+			}
+		}
+		for _, s := range f.Labeled {
+			stats.Bar(w, s.Labels, s.Value, maxV, 40, "%.0f")
+		}
+	}
 	for _, s := range summaries {
 		fmt.Fprintf(w, "\n%s (summary): %.0f samples", s.Name, s.Count)
 		for _, q := range s.Quantiles {
@@ -346,6 +376,88 @@ func showReuse(client *http.Client, base, jobID string, jsonOut bool) error {
 				fmt.Sprintf("%.1f%%", 100*p.CostFrac))
 		}
 		st.Write(os.Stdout)
+	}
+	return nil
+}
+
+// showProfile fetches a finished cycles job's guest-cycle profile and
+// renders the per-workload bin split and the top loop and PC hotspots —
+// the client-side twin of replaysim's -experiment cycles table. With
+// pprofOut it also fetches the format=pprof export and saves it for
+// `go tool pprof`.
+func showProfile(client *http.Client, base, jobID, pprofOut string, jsonOut bool) error {
+	var buf bytes.Buffer
+	if err := get(client, base+"/debug/profile?job="+jobID, &buf); err != nil {
+		return err
+	}
+	if pprofOut != "" {
+		var pb bytes.Buffer
+		if err := get(client, base+"/debug/profile?job="+jobID+"&format=pprof", &pb); err != nil {
+			return err
+		}
+		if err := os.WriteFile(pprofOut, pb.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		os.Stdout.Write(append(bytes.TrimRight(buf.Bytes(), "\n"), '\n'))
+		return nil
+	}
+	var rep sim.CycleReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		return fmt.Errorf("decoding cycle profile: %w", err)
+	}
+	fmt.Printf("guest-cycle profile for %s (%d workloads)\n\n", jobID, len(rep.Rows))
+	order := []pipeline.Bin{pipeline.BinAssert, pipeline.BinMispred, pipeline.BinMiss,
+		pipeline.BinStall, pipeline.BinWait, pipeline.BinFrame, pipeline.BinICache}
+	t := stats.NewTable("Workload", "IPC", "Cycles", "PCs", "Loops",
+		"assert", "mispred", "miss", "stall", "wait", "frame", "icache")
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		cells := []interface{}{r.Workload, fmt.Sprintf("%.3f", r.IPC),
+			r.Report.Cycles, len(r.Report.PCs), len(r.Report.Loops)}
+		for _, b := range order {
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*r.Report.BinFrac(b)))
+		}
+		t.Row(cells...)
+	}
+	t.Write(os.Stdout)
+
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		total := r.Report.Cycles
+		if total == 0 {
+			total = 1
+		}
+		if len(r.Report.Loops) > 0 {
+			fmt.Printf("\n%s hottest loops:\n", r.Workload)
+			lt := stats.NewTable("Loop", "Nest", "Trips", "Cycles", "% of run", "IPC", "mispred", "cover")
+			loops := r.Report.Loops
+			if len(loops) > 8 {
+				loops = loops[:8]
+			}
+			for j := range loops {
+				l := &loops[j]
+				lt.Row(fmt.Sprintf("t%d:0x%04x-0x%04x", l.Trace, l.Header, l.Tail),
+					l.Nest, fmt.Sprintf("%.1f", l.Trips), l.Cycles,
+					fmt.Sprintf("%.1f%%", 100*float64(l.Cycles)/float64(total)),
+					fmt.Sprintf("%.3f", l.IPC()),
+					fmt.Sprintf("%.0f%%", 100*l.BinFrac(pipeline.BinMispred)),
+					fmt.Sprintf("%.0f%%", 100*l.CoverFrac()))
+			}
+			lt.Write(os.Stdout)
+		}
+		fmt.Printf("\n%s hottest PCs:\n", r.Workload)
+		pt := stats.NewTable("PC", "Cycles", "% of run", "x86", "uops")
+		for _, p := range r.Report.TopPCs(8) {
+			pt.Row(fmt.Sprintf("t%d:0x%04x", p.Trace, p.PC), p.Cycles,
+				fmt.Sprintf("%.1f%%", 100*float64(p.Cycles)/float64(total)),
+				p.X86, p.UOps)
+		}
+		pt.Write(os.Stdout)
+	}
+	if pprofOut != "" {
+		fmt.Printf("\npprof export saved to %s (inspect with: go tool pprof -top %s)\n", pprofOut, pprofOut)
 	}
 	return nil
 }

@@ -9,7 +9,10 @@
 // Experiments: table1, table2, fig6, fig7, fig8, table3, fig9, fig10,
 // summary (a compact calibration view), attr (per-pass optimization
 // attribution), reuse (loop-structure reuse attribution and the
-// representative workload subset), all.
+// representative workload subset), cycles (guest-cycle profiler:
+// per-PC fetch-cycle attribution with loop-joined hotspots; -pprof
+// additionally writes a gzipped pprof profile for `go tool pprof`),
+// all.
 //
 // -load replays an external uop trace (tracegen -export, binary or
 // NDJSON, auto-detected) through one processor mode and prints the
@@ -35,6 +38,7 @@ import (
 
 	"repro"
 	"repro/internal/api"
+	"repro/internal/cycleprof"
 	"repro/internal/logflag"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -57,6 +61,8 @@ func main() {
 		"append the per-pass optimization attribution table (which optimizer pass killed/rewrote how many micro-ops, per workload)")
 	traceOut := flag.String("trace", "",
 		"record frame-lifecycle events and write Chrome trace_event JSON to this file (forces execution: the run memo is bypassed)")
+	pprofOut := flag.String("pprof", "",
+		"with -experiment cycles: write the guest-cycle profile as gzipped pprof protobuf to this file (inspect with `go tool pprof`)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "warn", "minimum log level: debug, info, warn, error")
 	flag.Parse()
@@ -113,6 +119,8 @@ func main() {
 		err = attrTable(opts, *jsonOut)
 	case "reuse":
 		err = reuseTable(opts, *jsonOut)
+	case "cycles":
+		err = cyclesTable(opts, *jsonOut, *pprofOut)
 	case "all":
 		if !*jsonOut {
 			table1()
@@ -296,6 +304,97 @@ func reuseTable(opts repro.ExpOptions, jsonOut bool) error {
 			fmt.Sprintf("%.1f%%", 100*p.CostFrac))
 	}
 	st.Write(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+// cyclesTable runs the RPO configuration with the guest-cycle profiler
+// and prints, per workload, where the simulated machine's cycles went:
+// the per-bin split of attributed fetch cycles (which sums to the
+// measured cycle count exactly — the profiler's conservation
+// invariant), the loop-joined hotspots with per-loop IPC and frame
+// coverage, and the heaviest individual PCs. With pprofOut the same
+// data is also written as a gzipped pprof profile.
+func cyclesTable(opts repro.ExpOptions, jsonOut bool, pprofOut string) error {
+	rep, err := repro.CycleProfData(opts)
+	if err != nil {
+		return err
+	}
+	if pprofOut != "" {
+		data, perr := cycleprof.Profile(rep.Profiles())
+		if perr != nil {
+			return perr
+		}
+		if werr := os.WriteFile(pprofOut, data, 0o644); werr != nil {
+			return werr
+		}
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpCycles, Cycles: rep})
+	}
+	order := []pipeline.Bin{pipeline.BinAssert, pipeline.BinMispred, pipeline.BinMiss,
+		pipeline.BinStall, pipeline.BinWait, pipeline.BinFrame, pipeline.BinICache}
+
+	fmt.Println("== Guest-cycle profile (RPO): per-PC fetch-cycle attribution ==")
+	t := stats.NewTable("Workload", "IPC", "Cycles", "PCs", "Loops",
+		"assert", "mispred", "miss", "stall", "wait", "frame", "icache")
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		cells := []interface{}{r.Workload, fmt.Sprintf("%.3f", r.IPC),
+			r.Report.Cycles, len(r.Report.PCs), len(r.Report.Loops)}
+		for _, b := range order {
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*r.Report.BinFrac(b)))
+		}
+		t.Row(cells...)
+	}
+	t.Write(os.Stdout)
+
+	fmt.Println("\nstacked composition (a=assert m=mispred M=miss s=stall w=wait F=frame I=icache):")
+	runes := []rune{'a', 'm', 'M', 's', 'w', 'F', 'I'}
+	var maxCycles float64
+	for i := range rep.Rows {
+		if c := float64(rep.Rows[i].Report.Cycles); c > maxCycles {
+			maxCycles = c
+		}
+	}
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		segs := make([]float64, len(order))
+		for j, b := range order {
+			segs[j] = float64(r.Report.Bins[b])
+		}
+		stats.StackedBar(os.Stdout, r.Workload, segs, runes, maxCycles, 70)
+	}
+
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		fmt.Printf("\n%s (%s): hottest loops\n", r.Workload, r.Class)
+		lt := stats.NewTable("Loop", "Nest", "Trips", "Cycles", "% of run", "IPC", "mispred", "frame", "cover")
+		loops := r.Report.Loops
+		if len(loops) > 8 {
+			loops = loops[:8]
+		}
+		for j := range loops {
+			l := &loops[j]
+			lt.Row(fmt.Sprintf("t%d:0x%04x-0x%04x", l.Trace, l.Header, l.Tail),
+				l.Nest, fmt.Sprintf("%.1f", l.Trips), l.Cycles,
+				fmt.Sprintf("%.1f%%", 100*float64(l.Cycles)/float64(max(r.Report.Cycles, 1))),
+				fmt.Sprintf("%.3f", l.IPC()),
+				fmt.Sprintf("%.0f%%", 100*l.BinFrac(pipeline.BinMispred)),
+				fmt.Sprintf("%.0f%%", 100*l.BinFrac(pipeline.BinFrame)),
+				fmt.Sprintf("%.0f%%", 100*l.CoverFrac()))
+		}
+		lt.Write(os.Stdout)
+
+		fmt.Printf("\n%s: hottest PCs\n", r.Workload)
+		pt := stats.NewTable("PC", "Cycles", "% of run", "x86", "uops")
+		for _, p := range r.Report.TopPCs(8) {
+			pt.Row(fmt.Sprintf("t%d:0x%04x", p.Trace, p.PC), p.Cycles,
+				fmt.Sprintf("%.1f%%", 100*float64(p.Cycles)/float64(max(r.Report.Cycles, 1))),
+				p.X86, p.UOps)
+		}
+		pt.Write(os.Stdout)
+	}
 	fmt.Println()
 	return nil
 }

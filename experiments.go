@@ -27,6 +27,11 @@ type (
 	// ReuseReport is the reuse decomposition plus the ranked
 	// representative workload subset.
 	ReuseReport = sim.ReuseReport
+	// CycleRow is one application's guest-cycle profile: per-PC
+	// fetch-cycle attribution joined against loop structure.
+	CycleRow = sim.CycleRow
+	// CycleReport is the guest-cycle profile sweep result.
+	CycleReport = sim.CycleReport
 )
 
 // ExpOptions configures an experiment sweep.
@@ -163,4 +168,18 @@ func ReuseData(o ExpOptions) (*ReuseReport, error) {
 		return nil, err
 	}
 	return sim.Reuse(o.ctx(), ps, o.simOptions())
+}
+
+// CycleProfData runs the RPO configuration with the guest-cycle
+// profiler attached: per application, every fetch-stage cycle
+// attributed to the responsible guest PC and fetch bin (the per-PC and
+// per-bin sums equal the pipeline's own cycle count exactly), joined
+// against detected loop structure into per-loop hotspot rows. Cycle
+// profiling forces execution, so the sweep ignores the run memo.
+func CycleProfData(o ExpOptions) (*CycleReport, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	return sim.CycleProf(o.ctx(), ps, o.simOptions())
 }

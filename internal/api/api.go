@@ -37,10 +37,16 @@ const (
 	// {loop-depth bucket, instruction class}, trip-counted loops, and
 	// the ranked representative workload subset.
 	ExpReuse = "reuse"
+	// ExpCycles runs the RPO configuration with the guest-cycle
+	// profiler: every charged fetch cycle attributed to a guest PC and
+	// fetch bin, joined against detected loop structure, per workload.
+	// The resulting profile is also exportable as pprof/flame-text via
+	// GET /debug/profile.
+	ExpCycles = "cycles"
 )
 
 // Experiments lists every accepted experiment name.
-var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr, ExpReuse}
+var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr, ExpReuse, ExpCycles}
 
 // ConfigOverrides carries the per-request Table 2 edits the service
 // accepts. Zero fields keep the mode's default; the names mirror
@@ -260,6 +266,7 @@ type RunResponse struct {
 	Cells      []Cell             `json:"cells,omitempty"`
 	Attr       []sim.AttrRow      `json:"attr,omitempty"`
 	Reuse      *sim.ReuseReport   `json:"reuse,omitempty"`
+	Cycles     *sim.CycleReport   `json:"cycles,omitempty"`
 }
 
 // Job states.

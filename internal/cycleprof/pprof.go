@@ -1,0 +1,419 @@
+package cycleprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/pipeline"
+)
+
+// NamedReport tags a report with its workload name, so multi-workload
+// exports (a replayd job profiles every requested workload) keep each
+// sample attributable.
+type NamedReport struct {
+	Name   string
+	Report *Report
+}
+
+// Profile encodes the reports as a gzipped pprof protobuf profile:
+// one sample per (workload, PC, bin) cell with value = cycles, a "bin"
+// string label, and a synthetic stack of
+//
+//	guest PC <- innermost loop <- ... <- outermost loop <- workload
+//
+// so `go tool pprof` renders guest hotspots as a call tree whose
+// non-leaf frames are the detected loops. The protobuf is hand-encoded
+// against the stable profile.proto field numbers — the repo takes no
+// dependency on a protobuf runtime, same as its Chrome trace_event and
+// Prometheus text encoders.
+func Profile(reports []NamedReport) ([]byte, error) {
+	b := newProfileBuilder()
+	for _, nr := range reports {
+		b.addReport(nr.Name, nr.Report)
+	}
+	raw := b.encode()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FlameText renders the reports as collapsed ("folded") stacks, one
+// `frame;frame;...;frame cycles` line per sample — the format flame
+// graph tools and speedscope ingest directly. Stack order is root
+// first; the fetch bin is the leaf frame.
+func FlameText(reports []NamedReport) []byte {
+	var buf bytes.Buffer
+	for _, nr := range reports {
+		r := nr.Report
+		for i := range r.PCs {
+			p := &r.PCs[i]
+			stack := loopStack(r, p.Trace, p.PC)
+			for bin := 0; bin < int(pipeline.NumBins); bin++ {
+				if p.Bins[bin] == 0 {
+					continue
+				}
+				buf.WriteString(nr.Name)
+				for j := len(stack) - 1; j >= 0; j-- {
+					l := stack[j]
+					fmt.Fprintf(&buf, ";loop@t%d:0x%04x", l.Trace, l.Header)
+				}
+				fmt.Fprintf(&buf, ";t%d:0x%04x;%s %d\n",
+					p.Trace, p.PC, pipeline.Bin(bin), p.Bins[bin])
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// loopStack returns the loops of the report containing (trace, pc),
+// innermost first.
+func loopStack(r *Report, trace int, pc uint32) []LoopCycles {
+	var out []LoopCycles
+	for i := range r.Loops {
+		l := &r.Loops[i]
+		if l.Trace == trace && pc >= l.Header && pc <= l.Tail {
+			out = append(out, *l)
+		}
+	}
+	// Innermost = smallest body interval; ties broken by later header.
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i].Tail-out[i].Header, out[j].Tail-out[j].Header
+		if si != sj {
+			return si < sj
+		}
+		return out[i].Header > out[j].Header
+	})
+	return out
+}
+
+// ProfileTotal decodes a gzipped pprof profile and returns its sample
+// count and the sum of all sample values. Tests and smoke checks use it
+// to assert cycle conservation at the export surface (total sample
+// value == measured-window cycles) without a protobuf dependency.
+func ProfileTotal(data []byte) (samples int, total uint64, err error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return 0, 0, fmt.Errorf("pprof gzip: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pprof gzip body: %w", err)
+	}
+	err = walkFields(raw, func(field, wire int, v uint64, body []byte) error {
+		if field != profSample || wire != 2 {
+			return nil
+		}
+		samples++
+		return walkFields(body, func(field, wire int, v uint64, body []byte) error {
+			if field != sampleValue {
+				return nil
+			}
+			switch wire {
+			case 0:
+				total += v
+			case 2: // packed repeated
+				for len(body) > 0 {
+					x, n := uvarint(body)
+					if n <= 0 {
+						return fmt.Errorf("bad packed sample value")
+					}
+					total += x
+					body = body[n:]
+				}
+			}
+			return nil
+		})
+	})
+	return samples, total, err
+}
+
+// walkFields iterates a protobuf message's top-level fields. For wire
+// type 0 fn receives the varint value; for wire type 2 the field body.
+func walkFields(b []byte, fn func(field, wire int, v uint64, body []byte) error) error {
+	for len(b) > 0 {
+		tag, n := uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("bad field tag")
+		}
+		b = b[n:]
+		field, wire := int(tag>>3), int(tag&7)
+		var v uint64
+		var body []byte
+		switch wire {
+		case 0:
+			v, n = uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", field)
+			}
+			b = b[n:]
+		case 1:
+			if len(b) < 8 {
+				return fmt.Errorf("short fixed64 in field %d", field)
+			}
+			b = b[8:]
+		case 2:
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return fmt.Errorf("bad length in field %d", field)
+			}
+			body = b[n : n+int(l)]
+			b = b[n+int(l):]
+		case 5:
+			if len(b) < 4 {
+				return fmt.Errorf("short fixed32 in field %d", field)
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", wire, field)
+		}
+		if err := fn(field, wire, v, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// profile.proto field numbers (the format is stable; see
+// github.com/google/pprof/proto/profile.proto).
+const (
+	profSampleType   = 1
+	profSample       = 2
+	profMapping      = 3
+	profLocation     = 4
+	profFunction     = 5
+	profStringTable  = 6
+	profPeriodType   = 11
+	profPeriod       = 12
+	valueTypeType    = 1
+	valueTypeUnit    = 2
+	sampleLocationID = 1
+	sampleValue      = 2
+	sampleLabel      = 3
+	labelKey         = 1
+	labelStr         = 2
+	mappingID        = 1
+	mappingStart     = 2
+	mappingLimit     = 3
+	mappingFilename  = 5
+	mappingHasFuncs  = 7
+	locationID       = 1
+	locationMapping  = 2
+	locationAddress  = 3
+	locationLine     = 4
+	lineFunctionID   = 1
+	functionID       = 1
+	functionName     = 2
+	functionSysName  = 3
+	functionFilename = 4
+)
+
+// pbuf is a minimal protobuf wire-format writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+// varint emits a varint-typed field (wire type 0).
+func (p *pbuf) varint(field int, v uint64) {
+	if v == 0 {
+		return // proto3 default, omitted
+	}
+	p.tag(field, 0)
+	p.uvarint(v)
+}
+
+// bytes emits a length-delimited field (wire type 2).
+func (p *pbuf) bytes(field int, b []byte) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+type profileBuilder struct {
+	strings map[string]uint64
+	strtab  []string
+
+	funcs     map[string]uint64 // frame name -> function id
+	funcNames []string
+
+	locs     map[string]uint64 // frame name -> location id
+	locAddrs []uint64          // by location id - 1
+	locFuncs []uint64          // by location id - 1
+
+	samples []sampleRec
+}
+
+type sampleRec struct {
+	locs   []uint64 // leaf first
+	value  uint64
+	labels [][2]uint64 // (key idx, str idx) pairs
+}
+
+func newProfileBuilder() *profileBuilder {
+	b := &profileBuilder{
+		strings: make(map[string]uint64),
+		funcs:   make(map[string]uint64),
+		locs:    make(map[string]uint64),
+	}
+	b.str("") // index 0 must be the empty string
+	return b
+}
+
+func (b *profileBuilder) str(s string) uint64 {
+	if i, ok := b.strings[s]; ok {
+		return i
+	}
+	i := uint64(len(b.strtab))
+	b.strings[s] = i
+	b.strtab = append(b.strtab, s)
+	return i
+}
+
+// loc interns a synthetic frame, returning its location id.
+func (b *profileBuilder) loc(name string, addr uint64) uint64 {
+	if id, ok := b.locs[name]; ok {
+		return id
+	}
+	fid, ok := b.funcs[name]
+	if !ok {
+		fid = uint64(len(b.funcNames)) + 1
+		b.funcs[name] = fid
+		b.funcNames = append(b.funcNames, name)
+	}
+	id := uint64(len(b.locAddrs)) + 1
+	b.locs[name] = id
+	b.locAddrs = append(b.locAddrs, addr)
+	b.locFuncs = append(b.locFuncs, fid)
+	return id
+}
+
+func (b *profileBuilder) addReport(name string, r *Report) {
+	rootLoc := b.loc(name, 0)
+	binKey := b.str("bin")
+	wlKey := b.str("workload")
+	wlVal := b.str(name)
+	for i := range r.PCs {
+		p := &r.PCs[i]
+		stack := loopStack(r, p.Trace, p.PC)
+		// Leaf first: guest PC, then loops innermost -> outermost, then
+		// the workload root.
+		locs := make([]uint64, 0, len(stack)+2)
+		// Synthetic address space: traces (and workloads) never share
+		// PCs, so offset each trace into its own 4GiB window.
+		addr := uint64(p.Trace)<<32 | uint64(p.PC)
+		locs = append(locs, b.loc(fmt.Sprintf("%s/t%d:0x%04x", name, p.Trace, p.PC), addr))
+		for _, l := range stack {
+			locs = append(locs, b.loc(fmt.Sprintf("%s/loop@t%d:0x%04x", name, l.Trace, l.Header), 0))
+		}
+		locs = append(locs, rootLoc)
+		for bin := 0; bin < int(pipeline.NumBins); bin++ {
+			if p.Bins[bin] == 0 {
+				continue
+			}
+			b.samples = append(b.samples, sampleRec{
+				locs:  locs,
+				value: p.Bins[bin],
+				labels: [][2]uint64{
+					{binKey, b.str(pipeline.Bin(bin).String())},
+					{wlKey, wlVal},
+				},
+			})
+		}
+	}
+}
+
+func (b *profileBuilder) encode() []byte {
+	var p pbuf
+
+	// sample_type + period_type: cycles/count.
+	cyclesIdx, countIdx := b.str("cycles"), b.str("count")
+	var vt pbuf
+	vt.varint(valueTypeType, cyclesIdx)
+	vt.varint(valueTypeUnit, countIdx)
+	p.bytes(profSampleType, vt.b)
+
+	for _, s := range b.samples {
+		var sp pbuf
+		for _, l := range s.locs {
+			sp.varint(sampleLocationID, l)
+		}
+		sp.varint(sampleValue, s.value)
+		for _, kv := range s.labels {
+			var lp pbuf
+			lp.varint(labelKey, kv[0])
+			lp.varint(labelStr, kv[1])
+			sp.bytes(sampleLabel, lp.b)
+		}
+		p.bytes(profSample, sp.b)
+	}
+
+	// One mapping spanning the synthetic guest address space.
+	var mp pbuf
+	mp.varint(mappingID, 1)
+	mp.varint(mappingStart, 0)
+	mp.varint(mappingLimit, 1<<48)
+	mp.varint(mappingFilename, b.str("[guest]"))
+	mp.varint(mappingHasFuncs, 1)
+	p.bytes(profMapping, mp.b)
+
+	for i := range b.locAddrs {
+		var lp pbuf
+		lp.varint(locationID, uint64(i)+1)
+		lp.varint(locationMapping, 1)
+		lp.varint(locationAddress, b.locAddrs[i])
+		var ln pbuf
+		ln.varint(lineFunctionID, b.locFuncs[i])
+		lp.bytes(locationLine, ln.b)
+		p.bytes(profLocation, lp.b)
+	}
+
+	guestIdx := b.str("guest")
+	for i, name := range b.funcNames {
+		var fp pbuf
+		fp.varint(functionID, uint64(i)+1)
+		nameIdx := b.str(name)
+		fp.varint(functionName, nameIdx)
+		fp.varint(functionSysName, nameIdx)
+		fp.varint(functionFilename, guestIdx)
+		p.bytes(profFunction, fp.b)
+	}
+
+	for _, s := range b.strtab {
+		p.bytes(profStringTable, []byte(s))
+	}
+
+	var pt pbuf
+	pt.varint(valueTypeType, cyclesIdx)
+	pt.varint(valueTypeUnit, countIdx)
+	p.bytes(profPeriodType, pt.b)
+	p.varint(profPeriod, 1)
+
+	return p.b
+}

@@ -111,6 +111,14 @@ type Engine struct {
 	// the disabled cost on the retirement path is one nil check.
 	reuse ReuseProbe
 
+	// Guest-cycle profiler probe (see SetCycleProf); nil unless
+	// attached, so the disabled cost at the two cycle-charging sites
+	// and at the profAt attribution points is one nil check each.
+	cprof CycleProbe
+	// profPC is the guest PC the next charged fetch cycles are
+	// attributed to; maintained (via profAt) only while cprof is set.
+	profPC uint32
+
 	// Wall-clock pass timing (see SetPassRecorder); nil unless a span
 	// trace is being assembled for this run.
 	passRec opt.TimedPassRecorder
@@ -283,11 +291,17 @@ func (e *Engine) pushback(slots []Slot) {
 }
 
 // stallUntil advances the clock to t, charging the idle fetch cycles to
-// the bin in one step.
+// the bin in one step. Together with tick these are the only writers of
+// Stats.Bins, which is what makes the cycle profiler's attribution
+// conservation-exact: every charged cycle passes through here.
 func (e *Engine) stallUntil(t uint64, bin Bin) {
 	if t > e.cycle {
-		e.stats.Bins[bin] += t - e.cycle
+		n := t - e.cycle
+		e.stats.Bins[bin] += n
 		e.cycle = t
+		if e.cprof != nil {
+			e.cprof.CycleCharge(e.profPC, bin, n)
+		}
 	}
 }
 
@@ -295,6 +309,17 @@ func (e *Engine) stallUntil(t uint64, bin Bin) {
 func (e *Engine) tick(bin Bin) {
 	e.stats.Bins[bin]++
 	e.cycle++
+	if e.cprof != nil {
+		e.cprof.CycleCharge(e.profPC, bin, 1)
+	}
+}
+
+// profAt notes the guest PC responsible for subsequently charged fetch
+// cycles. One nil check when no profiler is attached.
+func (e *Engine) profAt(pc uint32) {
+	if e.cprof != nil {
+		e.profPC = pc
+	}
 }
 
 // popRetired drops retired micro-ops from the in-flight window.
@@ -592,6 +617,14 @@ func (e *Engine) switchTo(src fetchSrc) {
 // fetchICache performs one ICache-path fetch group: up to DecodeWidth x86
 // instructions and Width micro-ops, ending at a taken branch.
 func (e *Engine) fetchICache() {
+	// The group leader owns the group's switch-turnaround, window-stall,
+	// miss, and fetch cycles; mispredict recovery is re-attributed to
+	// the branch by handleControl.
+	if e.cprof != nil {
+		if s, ok := e.peek(); ok {
+			e.profPC = s.PC
+		}
+	}
 	e.switchTo(srcIC)
 	e.windowStall()
 
@@ -693,6 +726,7 @@ func (e *Engine) trainPredictors(s *Slot) {
 // handleControl models prediction for a decoded-path instruction and
 // returns whether the fetch group must end.
 func (e *Engine) handleControl(s *Slot, resolveAt uint64) bool {
+	e.profAt(s.PC) // mispredict-recovery stalls belong to the branch
 	in := s.Inst
 	actualTaken := s.Taken()
 	switch in.Op {

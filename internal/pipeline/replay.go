@@ -192,6 +192,7 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 		return
 	}
 
+	e.profAt(src.StartPC) // cache-switch turnaround belongs to the frame head
 	e.switchTo(srcFC)
 	e.stats.FrameFetches++
 	if e.reuse != nil {
@@ -230,6 +231,11 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 
 	of.Iterate(func(i int32, o *opt.FrameOp) {
 		if fetched%e.cfg.Width == 0 {
+			// Per-PC attribution inside the frame: the group's cycles
+			// belong to the instruction leading it.
+			if e.cprof != nil && int(o.InstIdx) < len(src.PCs) {
+				e.profPC = src.PCs[o.InstIdx]
+			}
 			e.windowStall()
 			fetchAt = e.cycle
 			e.tick(BinFrame)
@@ -303,6 +309,7 @@ func (e *Engine) fetchFrame(of *opt.OptFrame) {
 			e.AbortHook(src.StartPC, pc, unsafeConflict && !diverged)
 		}
 		e.tel.AssertFired(e.telRun, e.cycle, src.ID, src.StartPC, unsafeConflict && !diverged)
+		e.profAt(src.StartPC) // recovery wait belongs to the aborting frame
 		e.stallUntil(maxDone, BinAssert)
 		// A transient assert (a rare contrary outcome) keeps the frame — it
 		// will run cleanly again next fetch. Only a persistent run of

@@ -71,6 +71,7 @@ func (e *Engine) fillTrace(s *Slot) {
 // micro-ops per cycle, decoded dataflow, stopping where the live path
 // diverges from the filled path or at a misprediction.
 func (e *Engine) fetchTraceEntry(tr *traceEntry) {
+	e.profAt(tr.StartPC) // turnaround + first group belong to the line head
 	e.switchTo(srcFC)
 	if e.tel.Enabled() {
 		start := e.cycle
@@ -88,6 +89,9 @@ func (e *Engine) fetchTraceEntry(tr *traceEntry) {
 		if !ok || s.PC != tr.Insts[k].PC {
 			return
 		}
+		// New dispatch groups and mispredict-recovery stalls below are
+		// attributed to the instruction that caused them.
+		e.profAt(s.PC)
 		if len(s.UOps) > uopsLeft {
 			e.windowStall()
 			fetchAt = e.cycle

@@ -74,6 +74,27 @@ func (e *Engine) SetReuse(p ReuseProbe) {
 	wireCacheHooks(e, e.traces)
 }
 
+// CycleProbe observes every fetch-stage cycle the engine charges, with
+// the guest PC held responsible and the bin the cycle landed in. The
+// engine's only two cycle-charging paths (tick and stallUntil) call it,
+// so over any attached window the probe's per-PC × per-bin totals equal
+// Stats.Cycles and Stats.Bins exactly — conservation by construction,
+// not by bookkeeping at every charge site. Called on the engine
+// goroutine.
+type CycleProbe interface {
+	// CycleCharge attributes n fetch cycles at guest PC pc to bin.
+	CycleCharge(pc uint32, bin Bin, n uint64)
+}
+
+// SetCycleProf attaches a guest-cycle profiler probe. Like SetTelemetry
+// and SetReuse it lives on the Engine, not Config, so the memo-key
+// fingerprint stays a pure value; attach after warmup so the profile
+// covers exactly the measured window ResetStats draws. Detach by
+// passing nil — when detached, the charge paths pay one nil check.
+func (e *Engine) SetCycleProf(p CycleProbe) {
+	e.cprof = p
+}
+
 // wireCacheHooks installs (or removes) the UOpCache observation hooks
 // for whichever of telemetry and the reuse probe is attached. A
 // package-level generic function because methods cannot have type

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -116,10 +117,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("replayd_pipeline_frames_constructed_total", "Frames constructed across executed runs.", float64(agg.FramesConstructed))
 	p.Counter("replayd_pipeline_frames_optimized_total", "Frames optimized across executed runs.", float64(agg.FramesOptimized))
 
+	// Fetch-cycle accounting (the paper's Figure 7/8 bins): every
+	// simulated cycle lands in exactly one bin, so the per-bin samples
+	// sum to replayd_pipeline_cycles_total.
+	binSamples := make([]stats.LabeledSample, pipeline.NumBins)
+	for i := range binSamples {
+		binSamples[i] = stats.LabeledSample{Label: pipeline.Bin(i).String(), Value: float64(agg.Bins[i])}
+	}
+	p.LabeledCounter("replayd_pipeline_fetch_cycles_total",
+		"Simulated fetch cycles per fetch bin across executed runs; bins sum to replayd_pipeline_cycles_total.",
+		"bin", binSamples)
+
 	// Loop-structure reuse attribution, folded from finished reuse-
 	// experiment jobs: per-depth-bucket counters plus loop-shape
 	// histograms whose exemplars point at contributing jobs' traces.
 	s.rmet.render(p)
+
+	// Guest-cycle profiler aggregates, folded from finished cycles-
+	// experiment jobs.
+	s.cmet.render(p)
 
 	// Frame-lifecycle histograms from the telemetry layer: every job
 	// (traced or not) observes into the same histogram set. Memoized

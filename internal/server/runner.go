@@ -67,6 +67,8 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 		res.Attr, err = sim.Attribution(ctx, profiles, opts)
 	case api.ExpReuse:
 		res.Reuse, err = sim.Reuse(ctx, profiles, opts)
+	case api.ExpCycles:
+		res.Cycles, err = sim.CycleProf(ctx, profiles, opts)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
 	}
@@ -110,7 +112,7 @@ func runCount(experiment string, profiles int) int {
 		return 8 * len(sim.Fig10Workloads)
 	case api.ExpSummary:
 		return 6 * profiles
-	case api.ExpCell, api.ExpAttr, api.ExpReuse:
+	case api.ExpCell, api.ExpAttr, api.ExpReuse, api.ExpCycles:
 		return profiles
 	}
 	return 0

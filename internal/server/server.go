@@ -276,6 +276,10 @@ type Server struct {
 	// rmet aggregates finished reuse-experiment jobs for the
 	// replayd_reuse_* metric families.
 	rmet *reuseMetrics
+
+	// cmet aggregates finished cycles-experiment jobs for the
+	// replayd_fetch_cycles_* / replayd_cycleprof_* metric families.
+	cmet *cycleMetrics
 }
 
 // New starts a server core: the worker pool is live on return.
@@ -294,6 +298,7 @@ func New(cfg Config) *Server {
 		log:        cfg.Logger,
 		slo:        stats.NewSLOWindow(cfg.SLOWindow, 0),
 		rmet:       newReuseMetrics(),
+		cmet:       newCycleMetrics(),
 	}
 	s.tel = telemetry.New(telemetry.Config{Hist: s.hist})
 	s.traces = tracing.NewStore(tracing.StoreConfig{
@@ -427,6 +432,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/reuse", s.handleReuse)
+	s.mux.HandleFunc("GET /debug/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -697,6 +703,9 @@ func (s *Server) settle(j *job, res *api.RunResponse, err error) {
 	}
 	if err == nil && res != nil && res.Reuse != nil {
 		s.rmet.fold(res.Reuse, j.traceID)
+	}
+	if err == nil && res != nil && res.Cycles != nil {
+		s.cmet.fold(res.Cycles)
 	}
 	// Close out the job's spans (idempotent: the queue-wait span already
 	// ended if a worker picked the job up). An errored or canceled job

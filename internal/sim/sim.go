@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/cycleprof"
 	"repro/internal/pipeline"
 	"repro/internal/reuse"
 	"repro/internal/telemetry"
@@ -136,6 +137,14 @@ type Options struct {
 	// keeps the serial per-trace path, so probe totals line up exactly
 	// with the measured-window Stats.
 	Reuse *reuse.Collector
+	// CycleProf, when set, attaches a guest-cycle profiler probe to
+	// every engine after warmup (see internal/cycleprof): every charged
+	// fetch cycle is attributed to the guest PC responsible, bucketed
+	// by fetch bin, and joined against detected loop structure. Like
+	// Reuse it forces execution and the serial per-trace path, so the
+	// profile totals equal the measured-window Stats.Cycles/Bins
+	// exactly (the conservation invariant).
+	CycleProf *cycleprof.Collector
 }
 
 // Result is the aggregated outcome of one workload under one mode.
@@ -191,7 +200,7 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		o.ConfigMod(&cfg)
 	}
 
-	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution() && o.Reuse == nil
+	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution() && o.Reuse == nil && o.CycleProf == nil
 	var key memoKey
 	if useMemo {
 		key = memoKey{profile: profileFingerprint(&p), mode: mode,
@@ -211,7 +220,7 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 	// is bit-identical to the serial loop. Telemetry and span-traced
 	// runs keep the serial path: both attach per-engine observers whose
 	// event interleaving is part of their output.
-	if p.Traces > 1 && o.Telemetry == nil && o.Reuse == nil && span == nil {
+	if p.Traces > 1 && o.Telemetry == nil && o.Reuse == nil && o.CycleProf == nil && span == nil {
 		if err := runTracesParallel(ctx, &res, p, mode, cfg, o, budget, warmFrac); err != nil {
 			return res, err
 		}
@@ -237,6 +246,13 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		span.SetAttr("reuse_back_edges", rep.BackEdges)
 		span.SetAttr("reuse_loop_uops", rep.LoopUOps)
 		span.SetAttr("reuse_loop_uop_frac", rep.LoopFrac())
+	}
+	if o.CycleProf != nil {
+		// Cycle-accounting summary on the sim.run span: the two bins
+		// the paper's Figure 7/8 narrative turns on.
+		rep := o.CycleProf.Snapshot()
+		span.SetAttr("cycles_mispred_frac", rep.BinFrac(pipeline.BinMispred))
+		span.SetAttr("cycles_frame_frac", rep.BinFrac(pipeline.BinFrame))
 	}
 	recordRun(&res.Stats)
 	if useMemo {
@@ -378,13 +394,30 @@ func runStreamStats(ctx context.Context, name string, stream slotSource, cfg pip
 		run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", name, mode, t))
 		eng.SetTelemetry(o.Telemetry, run)
 	}
-	// The reuse probe attaches at the same boundary, so its attribution
-	// covers exactly the measured window and its totals equal the
-	// window's Stats counters (the conservation invariant).
+	// The reuse and cycle-profiler probes attach at the same boundary,
+	// so their attribution covers exactly the measured window and their
+	// totals equal the window's Stats counters (the conservation
+	// invariant). The cycle profiler consumes the retired stream too
+	// (its loop join rides on the same detector); when both are set the
+	// retirement feed tees to each.
+	var rprobe pipeline.ReuseProbe
 	if o.Reuse != nil {
 		probe := o.Reuse.Attach(t)
-		eng.SetReuse(probe)
 		defer probe.Close()
+		rprobe = probe
+	}
+	if o.CycleProf != nil {
+		probe := o.CycleProf.Attach(t)
+		defer probe.Close()
+		eng.SetCycleProf(probe)
+		if rprobe != nil {
+			rprobe = reuseTee{a: rprobe, b: probe}
+		} else {
+			rprobe = probe
+		}
+	}
+	if rprobe != nil {
+		eng.SetReuse(rprobe)
 	}
 	eng.ResetStats()
 	mctx, mspan := tracing.Start(ctx, "sim.measure")
@@ -411,6 +444,26 @@ func runStreamStats(ctx context.Context, name string, stream slotSource, cfg pip
 	eng.CloseTelemetry()
 	return eng.Stats(), nil
 }
+
+// reuseTee fans the retirement feed out to two probes (a reuse
+// collector and a cycle profiler attached to the same engine).
+type reuseTee struct{ a, b pipeline.ReuseProbe }
+
+func (t reuseTee) ReuseSlot(s pipeline.Slot, fromFrame bool, uopsExecuted int) {
+	t.a.ReuseSlot(s, fromFrame, uopsExecuted)
+	t.b.ReuseSlot(s, fromFrame, uopsExecuted)
+}
+func (t reuseTee) ReuseFrameBuilt() { t.a.ReuseFrameBuilt(); t.b.ReuseFrameBuilt() }
+func (t reuseTee) ReuseFrameHit()   { t.a.ReuseFrameHit(); t.b.ReuseFrameHit() }
+func (t reuseTee) ReuseFrameRetired(uops int) {
+	t.a.ReuseFrameRetired(uops)
+	t.b.ReuseFrameRetired(uops)
+}
+func (t reuseTee) ReuseOptRemoved(removed int) {
+	t.a.ReuseOptRemoved(removed)
+	t.b.ReuseOptRemoved(removed)
+}
+func (t reuseTee) ReuseEvict() { t.a.ReuseEvict(); t.b.ReuseEvict() }
 
 // runJob is one (workload, mode, options) simulation request.
 type runJob struct {

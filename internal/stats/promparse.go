@@ -33,15 +33,25 @@ type PromQuantile struct {
 	V float64
 }
 
+// PromLabeled is one labeled sample of a counter/gauge family with a
+// label dimension (e.g. `replayd_fetch_cycles_total{bin="mispred"}`).
+// Labels is the raw label text between the braces.
+type PromLabeled struct {
+	Labels string
+	Value  float64
+}
+
 // PromFamily is one metric family parsed from the Prometheus text
 // format. For counters and gauges Value holds the sample; for
 // histograms Buckets/Sum/Count hold the decomposed samples; for
-// summaries Quantiles/Sum/Count do.
+// summaries Quantiles/Sum/Count do. A labeled counter/gauge family
+// keeps its per-label samples in Labeled, with Value their sum.
 type PromFamily struct {
 	Name      string
 	Help      string
 	Type      string // "counter", "gauge", "histogram", "summary", or "" if untyped
 	Value     float64
+	Labeled   []PromLabeled
 	Buckets   []PromBucket
 	Quantiles []PromQuantile
 	Sum       float64
@@ -169,7 +179,17 @@ func ParseProm(r io.Reader) ([]PromFamily, error) {
 		case strings.HasSuffix(name, "_count") && isDecomposed(hist, summ, strings.TrimSuffix(name, "_count")):
 			family(strings.TrimSuffix(name, "_count")).Count = value
 		default:
-			family(name).Value = value
+			f := family(name)
+			if labels != "" {
+				// A labeled counter/gauge family: keep every sample and
+				// make Value the sum (the families Prom emits with label
+				// dimensions are conservation partitions, so the sum is
+				// the meaningful scalar).
+				f.Labeled = append(f.Labeled, PromLabeled{Labels: labels, Value: value})
+				f.Value += value
+			} else {
+				f.Value = value
+			}
 		}
 	}
 

@@ -14,7 +14,9 @@
 //	replayctl -traces
 //	replayctl -trace 0af7651916cd43dd8448eb211c80319c
 //	replayctl -reuse job-000001
+//	replayctl -reuse trace:<id> [-workloads a,b]
 //	replayctl -profile job-000002 [-pprof-out guest.pb.gz]
+//	replayctl -diff job-000003
 //
 // -upload sends an external uop-trace file (tracegen -export) to the
 // daemon's POST /v1/traces spool and prints its content-addressed ID;
@@ -30,6 +32,16 @@
 // -reuse fetches a finished reuse job's report from /debug/reuse?job=ID
 // and renders the loop-depth decomposition, heaviest loops, and the
 // ranked representative workload subset (-json for the raw report).
+// -reuse trace:<id> instead decomposes a spooled external trace and
+// ranks it alongside any -workloads, so an upload can audition for the
+// representative subset; the "-reuse -trace <id>" spelling is accepted
+// as an alias.
+//
+// -diff fetches a finished diff job's comparison from /debug/diff?job=ID
+// and renders it side by side: significance-gated top-line metrics with
+// the ±2×SEM bound each verdict cleared (or didn't), per-pass removal
+// deltas, and the heaviest per-loop deltas as signed bars. Submit a
+// comparison with POST /v1/diff (two run specs or two finished job IDs).
 //
 // -profile fetches a finished cycles job's guest-cycle profile from
 // /debug/profile?job=ID and renders the per-bin cycle split and the
@@ -59,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/diff"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -83,7 +96,8 @@ func main() {
 	traceOut := flag.String("job-trace", "", "request a frame-lifecycle trace and save the Chrome trace_event JSON to this file")
 	traceID := flag.String("trace", "", "fetch one span trace by ID from /debug/traces and print its flame view (-json for the raw spans)")
 	traces := flag.Bool("traces", false, "list the span traces kept by the daemon's tail sampler and exit")
-	reuseJob := flag.String("reuse", "", "fetch a finished reuse job's report from /debug/reuse and render it")
+	reuseJob := flag.String("reuse", "", "fetch a finished reuse job's report from /debug/reuse and render it; trace:<id> decomposes a spooled trace instead (alongside any -workloads)")
+	diffJob := flag.String("diff", "", "fetch a finished diff job's comparison from /debug/diff and render it side by side")
 	profileJob := flag.String("profile", "", "fetch a finished cycles job's guest-cycle profile from /debug/profile and render it")
 	pprofOut := flag.String("pprof-out", "", "with -profile, also save the gzipped pprof export to this file")
 	upload := flag.String("upload", "", "upload an external uop-trace file to the daemon's spool and exit")
@@ -114,7 +128,25 @@ func main() {
 			fatal(err)
 		}
 	case *reuseJob != "":
-		if err := showReuse(client, base, *reuseJob, *jsonOut); err != nil {
+		// Two trace spellings reach the same job: the canonical
+		// -reuse trace:<id>, and the natural-but-wrong -reuse -trace <id>
+		// (the flag package eats "-trace" as -reuse's value and leaves the
+		// ID positional).
+		id := *reuseJob
+		if id == "-trace" && flag.NArg() == 1 {
+			id = "trace:" + flag.Arg(0)
+		}
+		if tid, ok := strings.CutPrefix(id, "trace:"); ok {
+			if err := runReuseTrace(client, base, tid, *workloads, *insts, *jsonOut); err != nil {
+				fatal(err)
+			}
+			break
+		}
+		if err := showReuse(client, base, id, *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *diffJob != "":
+		if err := showDiff(client, base, *diffJob, *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *profileJob != "":
@@ -329,7 +361,42 @@ func showReuse(client *http.Client, base, jobID string, jsonOut bool) error {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		return fmt.Errorf("decoding reuse report: %w", err)
 	}
-	fmt.Printf("reuse report for %s (%d workloads)\n\n", jobID, len(rep.Rows))
+	renderReuse(&rep, fmt.Sprintf("reuse report for %s", jobID))
+	return nil
+}
+
+// runReuseTrace submits a reuse job against a spooled trace (optionally
+// ranking it alongside explicitly listed workloads) and renders the
+// resulting decomposition — the upload-side twin of -reuse <job>.
+func runReuseTrace(client *http.Client, base, traceID, workloads string, insts int, jsonOut bool) error {
+	req := api.RunRequest{Experiment: api.ExpReuse, XTrace: traceID, Insts: insts}
+	if workloads != "" {
+		req.Workloads = strings.Split(workloads, ",")
+	}
+	j, err := post(client, base+"/v1/run", req)
+	if err != nil {
+		return err
+	}
+	if j.Error != "" {
+		return fmt.Errorf("job %s: %s", j.ID, j.Error)
+	}
+	if j.Result == nil || j.Result.Reuse == nil {
+		return fmt.Errorf("job %s returned no reuse report", j.ID)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(j.Result)
+	}
+	renderReuse(j.Result.Reuse, fmt.Sprintf("reuse decomposition of trace %s (job %s)", traceID, j.ID))
+	return nil
+}
+
+// renderReuse prints one reuse report: the per-workload loop-depth
+// decomposition, each workload's heaviest loops, and the ranked
+// representative subset.
+func renderReuse(rep *sim.ReuseReport, heading string) {
+	fmt.Printf("%s (%d workloads)\n\n", heading, len(rep.Rows))
 	t := stats.NewTable("Workload", "Loops", "Loop uops", "Straight", "d1", "d2", "d3+", "Hits/loop", "Evict")
 	for i := range rep.Rows {
 		r := &rep.Rows[i]
@@ -377,6 +444,36 @@ func showReuse(client *http.Client, base, jobID string, jsonOut bool) error {
 		}
 		st.Write(os.Stdout)
 	}
+}
+
+// showDiff fetches a finished diff job's comparison report and renders
+// it side by side — per workload, the gated top-line metrics, per-pass
+// removal deltas, and the heaviest per-loop deltas with signed bars —
+// the client-side twin of replaysim's -experiment diff output.
+func showDiff(client *http.Client, base, jobID string, jsonOut bool) error {
+	var buf bytes.Buffer
+	if err := get(client, base+"/debug/diff?job="+jobID, &buf); err != nil {
+		return err
+	}
+	if jsonOut {
+		os.Stdout.Write(append(bytes.TrimRight(buf.Bytes(), "\n"), '\n'))
+		return nil
+	}
+	var rep sim.DiffReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		return fmt.Errorf("decoding diff report: %w", err)
+	}
+	fmt.Printf("ablation diff for %s: %s vs %s (%d workloads)\n\n",
+		jobID, rep.Baseline, rep.Variant, len(rep.Rows))
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		if i > 0 {
+			fmt.Println()
+		}
+		diff.WriteReport(os.Stdout, r.Workload, r.Class, &r.Report)
+	}
+	fmt.Printf("\n%d loops compared; %d significant regressions, %d significant improvements\n",
+		rep.LoopsCompared(), rep.SignificantRegressions(), rep.SignificantImprovements())
 	return nil
 }
 

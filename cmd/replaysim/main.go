@@ -12,7 +12,9 @@
 // representative workload subset), cycles (guest-cycle profiler:
 // per-PC fetch-cycle attribution with loop-joined hotspots; -pprof
 // additionally writes a gzipped pprof profile for `go tool pprof`),
-// all.
+// diff (ablation diff engine: the RPO baseline against the -vs variant
+// spec, joined per loop and per optimizer pass with significance-gated
+// verdicts, e.g. -experiment diff -vs cse,sf,repeats=3), all.
 //
 // -load replays an external uop trace (tracegen -export, binary or
 // NDJSON, auto-detected) through one processor mode and prints the
@@ -39,6 +41,7 @@ import (
 	"repro"
 	"repro/internal/api"
 	"repro/internal/cycleprof"
+	"repro/internal/diff"
 	"repro/internal/logflag"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -63,6 +66,8 @@ func main() {
 		"record frame-lifecycle events and write Chrome trace_event JSON to this file (forces execution: the run memo is bypassed)")
 	pprofOut := flag.String("pprof", "",
 		"with -experiment cycles: write the guest-cycle profile as gzipped pprof protobuf to this file (inspect with `go tool pprof`)")
+	vs := flag.String("vs", "",
+		"with -experiment diff: the variant spec to compare against the RPO baseline — comma-separated tokens: pass names to disable (nop,cp,ra,cse,sf,asst,spec), scope=block|inter|frame, mode=IC|TC|RP|RPO, repeats=N")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "warn", "minimum log level: debug, info, warn, error")
 	flag.Parse()
@@ -121,6 +126,8 @@ func main() {
 		err = reuseTable(opts, *jsonOut)
 	case "cycles":
 		err = cyclesTable(opts, *jsonOut, *pprofOut)
+	case "diff":
+		err = diffTable(opts, *vs, *jsonOut)
 	case "all":
 		if !*jsonOut {
 			table1()
@@ -396,6 +403,40 @@ func cyclesTable(opts repro.ExpOptions, jsonOut bool, pprofOut string) error {
 		pt.Write(os.Stdout)
 	}
 	fmt.Println()
+	return nil
+}
+
+// diffTable runs the ablation diff engine: each workload runs under the
+// RPO baseline and under the -vs variant, both probed, and the joined
+// per-loop × per-pass delta report prints with its significance-gated
+// top-line verdicts. The report's residuals are the conservation check:
+// zero means every removed micro-op and every cycle delta was pinned to
+// a loop and a pass.
+func diffTable(opts repro.ExpOptions, vs string, jsonOut bool) error {
+	if vs == "" {
+		return fmt.Errorf("-experiment diff needs -vs <spec> (e.g. -vs cse,sf or -vs mode=RP)")
+	}
+	spec, err := api.ParseDiffSpec(vs)
+	if err != nil {
+		return err
+	}
+	rep, err := repro.DiffData(opts, spec)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(api.RunResponse{Experiment: api.ExpDiff, Diff: rep})
+	}
+	fmt.Printf("== Ablation diff: %s vs %s ==\n", rep.Baseline, rep.Variant)
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		if i > 0 {
+			fmt.Println()
+		}
+		diff.WriteReport(os.Stdout, r.Workload, r.Class, &r.Report)
+	}
+	fmt.Printf("\n%d loops compared; %d significant regressions, %d significant improvements\n\n",
+		rep.LoopsCompared(), rep.SignificantRegressions(), rep.SignificantImprovements())
 	return nil
 }
 

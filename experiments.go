@@ -3,6 +3,8 @@ package repro
 import (
 	"context"
 
+	"repro/internal/api"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -32,6 +34,12 @@ type (
 	CycleRow = sim.CycleRow
 	// CycleReport is the guest-cycle profile sweep result.
 	CycleReport = sim.CycleReport
+	// DiffRow is one application's baseline-vs-variant comparison.
+	DiffRow = sim.DiffRow
+	// DiffReport is the ablation-diff sweep result: per application, a
+	// conservation-exact per-loop × per-pass delta report with
+	// significance-gated top-line verdicts.
+	DiffReport = sim.DiffReport
 )
 
 // ExpOptions configures an experiment sweep.
@@ -168,6 +176,29 @@ func ReuseData(o ExpOptions) (*ReuseReport, error) {
 		return nil, err
 	}
 	return sim.Reuse(o.ctx(), ps, o.simOptions())
+}
+
+// DiffData runs the ablation diff engine: every selected workload runs
+// under the RPO baseline and under the variant the spec describes
+// (a disabled optimizer subset, a narrowed scope, another mode), both
+// sides probed, and the two per-loop × per-pass partitions join into a
+// delta report whose sums match the Stats-counter deltas exactly
+// (residuals zero). Repeats > 1 in the spec feeds the 2×SEM
+// significance gate behind each top-line verdict. Diff probing forces
+// execution, so the sweep ignores the run memo.
+func DiffData(o ExpOptions, spec *api.DiffSpec) (*DiffReport, error) {
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	varMode, err := api.ParseMode(spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	base := sim.DiffVariant{Label: "baseline", Mode: pipeline.ModeRePLayOpt, HasMode: true}
+	vs := sim.DiffVariant{Label: spec.Label, Mode: varMode, HasMode: true,
+		ConfigMod: spec.Config.Mod(), Repeats: spec.Repeats}
+	return sim.Diff(o.ctx(), ps, o.simOptions(), base, vs)
 }
 
 // CycleProfData runs the RPO configuration with the guest-cycle

@@ -9,9 +9,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -43,10 +45,17 @@ const (
 	// The resulting profile is also exportable as pprof/flame-text via
 	// GET /debug/profile.
 	ExpCycles = "cycles"
+	// ExpDiff runs the ablation diff engine: baseline and variant
+	// configurations both run probed, and their per-loop × per-pass
+	// partitions join into a conservation-exact delta report with
+	// significance-gated top-line verdicts. The request's own
+	// Mode/Config/XTrace describe the baseline side; the Diff spec
+	// describes the variant.
+	ExpDiff = "diff"
 )
 
 // Experiments lists every accepted experiment name.
-var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr, ExpReuse, ExpCycles}
+var Experiments = []string{ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpFig10, ExpTable3, ExpSummary, ExpCell, ExpAttr, ExpReuse, ExpCycles, ExpDiff}
 
 // ConfigOverrides carries the per-request Table 2 edits the service
 // accepts. Zero fields keep the mode's default; the names mirror
@@ -90,11 +99,40 @@ type RunRequest struct {
 	// one that would produce no events.
 	Trace bool `json:"trace,omitempty"`
 	// XTrace runs an uploaded external trace (POST /v1/traces) instead
-	// of a built-in workload: it names the trace by content ID. Only
-	// valid with the cell experiment (the default when set) and an empty
-	// workload list. Being part of the canonical form, it participates in
-	// coalescing and run memoization like any workload name.
+	// of a built-in workload: it names the trace by content ID. Valid
+	// with the cell experiment (the default when set), with reuse (the
+	// trace decomposes and ranks alongside any listed workloads), and
+	// with diff (the trace is the baseline side). Being part of the
+	// canonical form, it participates in coalescing and run memoization
+	// like any workload name.
 	XTrace string `json:"xtrace,omitempty"`
+	// Diff describes the variant side of a diff experiment; required
+	// with (and only valid with) ExpDiff.
+	Diff *DiffSpec `json:"diff,omitempty"`
+}
+
+// DiffSpec is the variant side of a diff request. The baseline side is
+// the request's own Mode/Config/XTrace/Workloads; the variant inherits
+// the baseline's workload source unless XTrace redirects it.
+type DiffSpec struct {
+	// Label names the variant in reports (defaults to a rendering of
+	// the spec).
+	Label string `json:"label,omitempty"`
+	// Mode overrides the variant's fetch engine (IC, TC, RP, RPO);
+	// empty inherits the baseline's.
+	Mode string `json:"mode,omitempty"`
+	// Config applies Table 2 overrides to the variant side only. The
+	// variant does NOT inherit the baseline's Config; each side's
+	// overrides are spelled out in full.
+	Config *ConfigOverrides `json:"config,omitempty"`
+	// XTrace makes the variant replay an uploaded trace instead of the
+	// baseline's source, e.g. to compare an upload against its synthetic
+	// clone. The baseline must then be a single source (an xtrace or
+	// exactly one workload).
+	XTrace string `json:"xtrace,omitempty"`
+	// Repeats is how many runs per side feed the significance gate
+	// (default 1; the first run of each side carries the diff probe).
+	Repeats int `json:"repeats,omitempty"`
 }
 
 // Canonical returns the request in canonical form: names are trimmed
@@ -109,10 +147,13 @@ func (r RunRequest) Canonical() RunRequest {
 	if c.XTrace != "" && c.Experiment == "" {
 		c.Experiment = ExpCell
 	}
-	if c.Experiment == ExpCell && c.Mode == "" {
-		c.Mode = "RPO"
-	}
-	if c.Experiment != ExpCell {
+	switch c.Experiment {
+	case ExpCell, ExpDiff:
+		// Mode names the (baseline) fetch engine for cell and diff runs.
+		if c.Mode == "" {
+			c.Mode = "RPO"
+		}
+	default:
 		c.Mode = ""
 	}
 	if c.Experiment == ExpFig10 {
@@ -132,27 +173,46 @@ func (r RunRequest) Canonical() RunRequest {
 	} else {
 		c.Workloads = nil
 	}
-	if r.Config != nil {
-		cfg := *r.Config
-		cfg.OptScope = strings.ToLower(strings.TrimSpace(cfg.OptScope))
-		if len(cfg.DisableOpts) > 0 {
-			ds := make([]string, 0, len(cfg.DisableOpts))
-			for _, d := range cfg.DisableOpts {
-				if d = strings.ToLower(strings.TrimSpace(d)); d != "" {
-					ds = append(ds, d)
-				}
-			}
-			sort.Strings(ds)
-			ds = dedupe(ds)
-			cfg.DisableOpts = ds
+	c.Config = canonicalConfig(r.Config)
+	if c.Experiment == ExpDiff {
+		var d DiffSpec
+		if r.Diff != nil {
+			d = *r.Diff
 		}
-		if cfg.isZero() {
-			c.Config = nil
-		} else {
-			c.Config = &cfg
+		d.Label = strings.TrimSpace(d.Label)
+		d.Mode = strings.ToUpper(strings.TrimSpace(d.Mode))
+		d.XTrace = strings.ToLower(strings.TrimSpace(d.XTrace))
+		d.Config = canonicalConfig(d.Config)
+		if d.Repeats < 1 {
+			d.Repeats = 1
 		}
+		c.Diff = &d
+	} else {
+		c.Diff = nil
 	}
 	return c
+}
+
+func canonicalConfig(in *ConfigOverrides) *ConfigOverrides {
+	if in == nil {
+		return nil
+	}
+	cfg := *in
+	cfg.OptScope = strings.ToLower(strings.TrimSpace(cfg.OptScope))
+	if len(cfg.DisableOpts) > 0 {
+		ds := make([]string, 0, len(cfg.DisableOpts))
+		for _, d := range cfg.DisableOpts {
+			if d = strings.ToLower(strings.TrimSpace(d)); d != "" {
+				ds = append(ds, d)
+			}
+		}
+		sort.Strings(ds)
+		cfg.DisableOpts = dedupe(ds)
+	}
+	if cfg.isZero() {
+		return nil
+	}
+	return &cfg
 }
 
 // isZero reports whether the overrides carry no edits, so an explicit
@@ -199,34 +259,181 @@ func (r RunRequest) Validate() error {
 	if !known {
 		return fmt.Errorf("unknown experiment %q (want one of %s)", r.Experiment, strings.Join(Experiments, ", "))
 	}
-	if c.Experiment == ExpCell {
+	if c.Experiment == ExpCell || c.Experiment == ExpDiff {
 		if _, err := ParseMode(c.Mode); err != nil {
 			return err
 		}
 	}
 	if c.XTrace != "" {
-		if c.Experiment != ExpCell {
-			return fmt.Errorf("xtrace runs only support the cell experiment, not %q", c.Experiment)
-		}
-		if len(c.Workloads) > 0 {
-			return fmt.Errorf("xtrace and workloads are mutually exclusive")
+		switch c.Experiment {
+		case ExpCell, ExpDiff:
+			if len(c.Workloads) > 0 {
+				return fmt.Errorf("xtrace and workloads are mutually exclusive")
+			}
+		case ExpReuse:
+			// The trace decomposes alongside any listed workloads.
+		default:
+			return fmt.Errorf("xtrace runs only support the cell, reuse and diff experiments, not %q", c.Experiment)
 		}
 	}
-	if c.Config != nil {
-		switch c.Config.OptScope {
-		case "", "block", "inter", "frame":
-		default:
-			return fmt.Errorf("unknown opt_scope %q (want block, inter or frame)", c.Config.OptScope)
+	if err := validateConfig(c.Config); err != nil {
+		return err
+	}
+	if r.Diff != nil && c.Experiment != ExpDiff {
+		return fmt.Errorf("diff spec is only valid with the diff experiment, not %q", c.Experiment)
+	}
+	if c.Experiment == ExpDiff {
+		if r.Diff == nil {
+			return fmt.Errorf("diff experiment needs a diff spec (the variant side)")
 		}
-		for _, d := range c.Config.DisableOpts {
-			switch d {
-			case "asst", "cp", "cse", "nop", "ra", "sf", "spec":
-			default:
-				return fmt.Errorf("unknown optimization %q in disable_opts", d)
+		d := c.Diff
+		if d.Mode != "" {
+			if _, err := ParseMode(d.Mode); err != nil {
+				return err
 			}
+		}
+		if err := validateConfig(d.Config); err != nil {
+			return err
+		}
+		if d.XTrace != "" && c.XTrace == "" && len(c.Workloads) != 1 {
+			return fmt.Errorf("a trace-variant diff needs a single-source baseline (an xtrace or exactly one workload)")
 		}
 	}
 	return nil
+}
+
+func validateConfig(c *ConfigOverrides) error {
+	if c == nil {
+		return nil
+	}
+	switch c.OptScope {
+	case "", "block", "inter", "frame":
+	default:
+		return fmt.Errorf("unknown opt_scope %q (want block, inter or frame)", c.OptScope)
+	}
+	for _, d := range c.DisableOpts {
+		switch d {
+		case "asst", "cp", "cse", "nop", "ra", "sf", "spec":
+		default:
+			return fmt.Errorf("unknown optimization %q in disable_opts", d)
+		}
+	}
+	return nil
+}
+
+// ParseDiffSpec parses the compact variant notation the CLIs accept
+// for -vs: a comma-separated token list where a bare token disables
+// that optimization on the variant side (asst, cp, cse, nop, ra, sf,
+// spec), "scope=block|inter|frame" narrows the optimizer scope,
+// "mode=IC|TC|RP|RPO" switches the fetch engine, "repeats=N" sets the
+// significance repeat count, and "xtrace=ID" replays an uploaded trace
+// as the variant. The spec's label defaults to the input string.
+func ParseDiffSpec(s string) (*DiffSpec, error) {
+	d := &DiffSpec{Label: strings.TrimSpace(s)}
+	var disable []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, isKV := strings.Cut(tok, "=")
+		if !isKV {
+			disable = append(disable, strings.ToLower(key))
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "scope":
+			if d.Config == nil {
+				d.Config = &ConfigOverrides{}
+			}
+			d.Config.OptScope = strings.ToLower(val)
+		case "mode":
+			d.Mode = strings.ToUpper(val)
+		case "repeats":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad repeats %q in diff spec", val)
+			}
+			d.Repeats = n
+		case "xtrace":
+			d.XTrace = strings.ToLower(val)
+		default:
+			return nil, fmt.Errorf("unknown token %q in diff spec (want an optimization name, scope=, mode=, repeats= or xtrace=)", tok)
+		}
+	}
+	if len(disable) > 0 {
+		if d.Config == nil {
+			d.Config = &ConfigOverrides{}
+		}
+		d.Config.DisableOpts = disable
+	}
+	// Round-trip through a throwaway request to reuse the canonical
+	// validation of names.
+	probe := RunRequest{Experiment: ExpDiff, Diff: d}
+	if d.XTrace != "" {
+		probe.XTrace = d.XTrace // stand-in single-source baseline
+	}
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Mod translates the overrides into a Table 2 config edit (nil receiver
+// means no edit). Both replayd and the CLIs apply wire overrides through
+// this one translation, so a spec means the same machine everywhere.
+func (o *ConfigOverrides) Mod() func(*pipeline.Config) {
+	if o == nil {
+		return nil
+	}
+	ov := *o
+	return func(c *pipeline.Config) {
+		switch ov.OptScope {
+		case "block":
+			c.OptScope = opt.ScopeIntraBlock
+		case "inter":
+			c.OptScope = opt.ScopeInterBlock
+		case "frame":
+			c.OptScope = opt.ScopeFrame
+		}
+		for _, d := range ov.DisableOpts {
+			switch d {
+			case "asst":
+				c.OptOptions.Assert = false
+			case "cp":
+				c.OptOptions.CP = false
+			case "cse":
+				c.OptOptions.CSE = false
+			case "nop":
+				c.OptOptions.NOP = false
+			case "ra":
+				c.OptOptions.RA = false
+			case "sf":
+				c.OptOptions.SF = false
+			case "spec":
+				c.OptOptions.Speculative = false
+			}
+		}
+		if ov.Width > 0 {
+			c.Width = ov.Width
+		}
+		if ov.WindowSize > 0 {
+			c.WindowSize = ov.WindowSize
+		}
+		if ov.FrameCacheUOps > 0 {
+			c.FrameCacheUOps = ov.FrameCacheUOps
+		}
+		if ov.MaxFrameUOps > 0 {
+			c.FrameCfg.MaxUOps = ov.MaxFrameUOps
+		}
+		if ov.OptCyclesPerUOp > 0 {
+			c.OptCyclesPerUOp = ov.OptCyclesPerUOp
+		}
+		if ov.OptPipeDepth > 0 {
+			c.OptPipeDepth = ov.OptPipeDepth
+		}
+	}
 }
 
 // ParseMode maps a wire mode name to the pipeline configuration.
@@ -267,6 +474,7 @@ type RunResponse struct {
 	Attr       []sim.AttrRow      `json:"attr,omitempty"`
 	Reuse      *sim.ReuseReport   `json:"reuse,omitempty"`
 	Cycles     *sim.CycleReport   `json:"cycles,omitempty"`
+	Diff       *sim.DiffReport    `json:"diff,omitempty"`
 }
 
 // Job states.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/noise"
 )
 
 // Delta is one metric's old-vs-new comparison. Worse is the
@@ -17,6 +19,13 @@ type Delta struct {
 	OldMean float64 `json:"old_mean"`
 	NewMean float64 `json:"new_mean"`
 	Worse   float64 `json:"worse"`
+
+	// Noise is the 2×SEM significance bound the comparison gated on, in
+	// the metric's own unit (0 when neither side carried repeat spread).
+	// WithinNoise records that the means differed by less than it, so a
+	// non-flagged delta is distinguishable from a sub-threshold one.
+	Noise       float64 `json:"noise"`
+	WithinNoise bool    `json:"within_noise,omitempty"`
 
 	// Regression: worse beyond the threshold AND beyond the noise gate.
 	// Improvement: the same test in the other direction.
@@ -69,12 +78,15 @@ func Compare(old, new *Report, threshold float64) *Comparison {
 }
 
 func diff(om, nm Metric, threshold float64) Delta {
+	os, ns := summaryOf(om), summaryOf(nm)
 	d := Delta{
-		Name:    om.Name,
-		Unit:    om.Unit,
-		Better:  om.Better,
-		OldMean: om.Mean,
-		NewMean: nm.Mean,
+		Name:        om.Name,
+		Unit:        om.Unit,
+		Better:      om.Better,
+		OldMean:     om.Mean,
+		NewMean:     nm.Mean,
+		Noise:       noise.Bound(os, ns),
+		WithinNoise: !noise.Beyond(os, ns),
 	}
 	if om.Mean == 0 {
 		return d // nothing meaningful to ratio against
@@ -84,7 +96,7 @@ func diff(om, nm Metric, threshold float64) Delta {
 		rel = -rel
 	}
 	d.Worse = rel
-	if math.Abs(rel) <= threshold || !beyondNoise(om, nm) {
+	if math.Abs(rel) <= threshold || d.WithinNoise {
 		return d
 	}
 	if rel > 0 {
@@ -95,26 +107,18 @@ func diff(om, nm Metric, threshold float64) Delta {
 	return d
 }
 
-// beyondNoise reports whether the two means differ by more than twice
-// the combined standard error of the mean. Reports with a single repeat
-// carry no spread information and always pass the gate.
-func beyondNoise(om, nm Metric) bool {
-	se := 0.0
-	if om.N > 1 {
-		se += om.Stddev * om.Stddev / float64(om.N)
-	}
-	if nm.N > 1 {
-		se += nm.Stddev * nm.Stddev / float64(nm.N)
-	}
-	if se == 0 {
-		return true
-	}
-	return math.Abs(nm.Mean-om.Mean) > 2*math.Sqrt(se)
+// summaryOf adapts a metric's summary fields for the shared noise gate
+// (the same 2×SEM rule the ablation diff engine applies to run deltas).
+func summaryOf(m Metric) noise.Summary {
+	return noise.Summary{N: m.N, Mean: m.Mean, Stddev: m.Stddev}
 }
 
-// WriteText renders the comparison as an aligned human-readable table.
+// WriteText renders the comparison as an aligned human-readable table,
+// including the per-metric 2×SEM bound each verdict was gated on — the
+// same ±noise column the ablation diff reports print, so "how much
+// spread hid this delta" reads identically from benchd and replayctl.
 func (c *Comparison) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "%-28s %14s %14s %9s  %s\n", "metric", "old", "new", "change", "verdict")
+	fmt.Fprintf(w, "%-28s %14s %14s %9s %12s  %s\n", "metric", "old", "new", "change", "±noise", "verdict")
 	for _, d := range c.Deltas {
 		verdict := "ok"
 		switch {
@@ -122,9 +126,11 @@ func (c *Comparison) WriteText(w io.Writer) {
 			verdict = "REGRESSION"
 		case d.Improvement:
 			verdict = "improvement"
+		case d.WithinNoise && d.OldMean != d.NewMean:
+			verdict = "ok (within noise)"
 		}
-		fmt.Fprintf(w, "%-28s %14.3f %14.3f %+8.1f%%  %s\n",
-			d.Name, d.OldMean, d.NewMean, signedWorse(d), verdict)
+		fmt.Fprintf(w, "%-28s %14.3f %14.3f %+8.1f%% %12.4g  %s\n",
+			d.Name, d.OldMean, d.NewMean, signedWorse(d), d.Noise, verdict)
 	}
 	for _, name := range c.OnlyOld {
 		fmt.Fprintf(w, "%-28s only in old report\n", name)

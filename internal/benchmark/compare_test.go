@@ -3,6 +3,8 @@ package benchmark
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/noise"
 )
 
 func report(metrics ...Metric) *Report {
@@ -85,16 +87,35 @@ func TestCompareNoiseGate(t *testing.T) {
 	if n := c.Regressions(); n != 0 {
 		t.Fatalf("noisy 30%% shift flagged as regression")
 	}
-	if c.Deltas[0].Worse <= 0.25 {
-		t.Fatalf("test premise broken: worse = %v should exceed threshold", c.Deltas[0].Worse)
+	d := c.Deltas[0]
+	if d.Worse <= 0.25 {
+		t.Fatalf("test premise broken: worse = %v should exceed threshold", d.Worse)
+	}
+	// The delta records the bound it was gated on: the shared 2×SEM rule,
+	// and the fact that the shift fell inside it.
+	os, ns := summaryOf(*old.Metric("wall")), summaryOf(*new.Metric("wall"))
+	if want := noise.Bound(os, ns); d.Noise != want || want == 0 {
+		t.Errorf("Noise = %v, want %v (non-zero)", d.Noise, want)
+	}
+	if !d.WithinNoise {
+		t.Error("gated delta not marked WithinNoise")
+	}
+	var sb strings.Builder
+	c.WriteText(&sb)
+	if out := sb.String(); !strings.Contains(out, "±noise") || !strings.Contains(out, "within noise") {
+		t.Errorf("WriteText missing the noise bound column:\n%s", out)
 	}
 
 	// Single-repeat reports carry no spread information and must still
 	// flag — otherwise quick mode could never fail.
 	old = report(Summarize("wall", "ms", Lower, []float64{100}))
 	new = report(Summarize("wall", "ms", Lower, []float64{200}))
-	if n := Compare(old, new, 0.25).Regressions(); n != 1 {
+	c = Compare(old, new, 0.25)
+	if n := c.Regressions(); n != 1 {
 		t.Errorf("single-repeat 2x slowdown found %d regressions, want 1", n)
+	}
+	if d := c.Deltas[0]; d.Noise != 0 || d.WithinNoise {
+		t.Errorf("single-repeat delta carries spread: %+v", d)
 	}
 }
 

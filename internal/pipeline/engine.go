@@ -110,6 +110,10 @@ type Engine struct {
 	// Reuse attribution probe (see SetReuse); nil unless attached, so
 	// the disabled cost on the retirement path is one nil check.
 	reuse ReuseProbe
+	// reusePass is the cached ReusePassProbe view of reuse (nil when the
+	// probe does not implement the extension), resolved once at SetReuse
+	// so the per-frame optimizer call site never asserts.
+	reusePass ReusePassProbe
 
 	// Guest-cycle profiler probe (see SetCycleProf); nil unless
 	// attached, so the disabled cost at the two cycle-charging sites

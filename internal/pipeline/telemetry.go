@@ -64,12 +64,31 @@ type ReuseProbe interface {
 	ReuseEvict()
 }
 
+// ReusePassProbe is an optional ReuseProbe extension: a probe that
+// also wants the per-pass split of the removals ReuseOptRemoved
+// reports. When the probe attached via SetReuse implements it, every
+// changed optimizer pass invocation is forwarded from the same call
+// site (and hence the same loop-stack context) ReuseOptRemoved fires
+// in, so over the attached window the per-pass killed sums equal
+// Stats.Opt.Removed() exactly — the same invariant opt.OptimizeTraced
+// documents for PassRecorder.
+type ReusePassProbe interface {
+	ReuseProbe
+	// ReusePass reports one optimizer pass invocation that changed
+	// something: uops it invalidated and uops it rewrote in place.
+	ReusePass(pass string, killed, rewritten int)
+}
+
 // SetReuse attaches a reuse-attribution probe. Like SetTelemetry it
 // lives on the Engine, not Config, so the memo-key fingerprint stays a
 // pure value; attach after warmup so the probe covers exactly the
 // measured window ResetStats draws. Detach by passing nil.
+//
+// The ReusePassProbe type assertion is cached here so the optimizer
+// call site pays a field check, not an interface assertion, per frame.
 func (e *Engine) SetReuse(p ReuseProbe) {
 	e.reuse = p
+	e.reusePass, _ = p.(ReusePassProbe)
 	wireCacheHooks(e, e.frames)
 	wireCacheHooks(e, e.traces)
 }
@@ -165,21 +184,44 @@ func (d dualRecorder) RecordPassTimed(frameID uint64, pass string, killed, rewri
 	}
 }
 
+// passProbeRecorder forwards changed-only pass invocations to a reuse
+// pass probe. It deliberately does not implement TimedPassRecorder, so
+// a probe-only recorder never makes the optimizer pay the two time.Now
+// calls per pass that the timed extension costs.
+type passProbeRecorder struct{ probe ReusePassProbe }
+
+func (r passProbeRecorder) RecordPass(frameID uint64, pass string, killed, rewritten int) {
+	r.probe.ReusePass(pass, killed, rewritten)
+}
+
+// fanRecorder duplicates changed-only pass invocations to two untimed
+// consumers (telemetry attribution and a reuse pass probe).
+type fanRecorder struct{ a, b opt.PassRecorder }
+
+func (f fanRecorder) RecordPass(frameID uint64, pass string, killed, rewritten int) {
+	f.a.RecordPass(frameID, pass, killed, rewritten)
+	f.b.RecordPass(frameID, pass, killed, rewritten)
+}
+
 // optRecorder picks the cheapest recorder covering the attached
 // consumers: nil when nobody listens, the telemetry collector alone
-// when only attribution is on (no time.Now cost), and a dual recorder
-// when pass timing is attached.
+// when only attribution is on (no time.Now cost), a pass-probe
+// forwarder when a ReusePassProbe is attached, and a dual recorder
+// when pass timing is attached on top of either.
 func (e *Engine) optRecorder() opt.PassRecorder {
-	attr := e.tel.HasAttribution()
+	var attr opt.PassRecorder
 	switch {
-	case e.passRec != nil && attr:
-		return dualRecorder{attr: e.tel, timed: e.passRec}
-	case e.passRec != nil:
-		return dualRecorder{timed: e.passRec}
-	case attr:
-		return e.tel
+	case e.tel.HasAttribution() && e.reusePass != nil:
+		attr = fanRecorder{a: e.tel, b: passProbeRecorder{probe: e.reusePass}}
+	case e.tel.HasAttribution():
+		attr = e.tel
+	case e.reusePass != nil:
+		attr = passProbeRecorder{probe: e.reusePass}
 	}
-	return nil
+	if e.passRec != nil {
+		return dualRecorder{attr: attr, timed: e.passRec}
+	}
+	return attr
 }
 
 // CloseTelemetry flushes end-of-run state: frames still resident in

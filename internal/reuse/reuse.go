@@ -195,6 +195,18 @@ func NewDetector() *Detector {
 // Depth is the current loop-nesting depth (0 = straight-line).
 func (d *Detector) Depth() int { return len(d.stack) }
 
+// Active returns the innermost active loop's identity — its header PC —
+// or ok=false when execution is in straight-line code. Consumers that
+// need an exact partition of observed events over loops (each event in
+// exactly one row, unlike the inclusive interval rollups a nested join
+// produces) attribute to the active loop at event time.
+func (d *Detector) Active() (header uint32, ok bool) {
+	if n := len(d.stack); n > 0 {
+		return d.stack[n-1].header, true
+	}
+	return 0, false
+}
+
 // ReuseSlot feeds one retired instruction. fromFrame marks slots
 // retired through a committed frame or trace-cache line; uopsExecuted
 // is the post-optimization micro-op count retired with the slot

@@ -137,6 +137,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// experiment jobs.
 	s.cmet.render(p)
 
+	// Ablation-diff comparison counters, folded from finished diff-
+	// experiment jobs.
+	s.dmet.render(p)
+
 	// Frame-lifecycle histograms from the telemetry layer: every job
 	// (traced or not) observes into the same histogram set. Memoized
 	// runs execute nothing and so contribute no samples.

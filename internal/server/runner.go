@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/api"
-	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -30,7 +29,7 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 		// or the per-job trace collector) through the context.
 		Telemetry: telemetry.FromContext(ctx),
 	}
-	total := runCount(req.Experiment, len(profiles))
+	total := runCount(req, len(profiles))
 	var done atomic.Int64
 	opts.Notify = func(r sim.Result) {
 		progress(api.Event{
@@ -69,6 +68,12 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 		res.Reuse, err = sim.Reuse(ctx, profiles, opts)
 	case api.ExpCycles:
 		res.Cycles, err = sim.CycleProf(ctx, profiles, opts)
+	case api.ExpDiff:
+		// Each side's mode and config ride its own DiffVariant; the
+		// shared options must not also carry the baseline's config or the
+		// variant would inherit it.
+		opts.ConfigMod = nil
+		res.Diff, err = runDiffSweep(ctx, profiles, req, opts)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
 	}
@@ -76,6 +81,29 @@ func SimRunner(ctx context.Context, req api.RunRequest, progress func(api.Event)
 		return nil, err
 	}
 	return res, nil
+}
+
+// runDiffSweep maps a diff request's two sides onto the sim driver's
+// baseline/variant sweep: the request's own Mode/Config describe the
+// baseline, the Diff spec the variant (an unset variant mode inherits
+// the baseline's).
+func runDiffSweep(ctx context.Context, profiles []workload.Profile, req api.RunRequest, opts sim.Options) (*sim.DiffReport, error) {
+	d := req.Diff
+	baseMode, err := api.ParseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	varMode := baseMode
+	if d.Mode != "" {
+		if varMode, err = api.ParseMode(d.Mode); err != nil {
+			return nil, err
+		}
+	}
+	base := sim.DiffVariant{Label: "baseline", Mode: baseMode, HasMode: true,
+		ConfigMod: configMod(req.Config)}
+	vs := sim.DiffVariant{Label: d.Label, Mode: varMode, HasMode: true,
+		ConfigMod: configMod(d.Config), Repeats: d.Repeats}
+	return sim.Diff(ctx, profiles, opts, base, vs)
 }
 
 // runCells runs each profile under one mode and returns raw result
@@ -100,8 +128,8 @@ func runCells(ctx context.Context, profiles []workload.Profile, mode pipeline.Mo
 
 // runCount estimates how many (workload, mode) runs the experiment
 // executes, for progress totals.
-func runCount(experiment string, profiles int) int {
-	switch experiment {
+func runCount(req api.RunRequest, profiles int) int {
+	switch req.Experiment {
 	case api.ExpFig6:
 		return 4 * profiles
 	case api.ExpFig7, api.ExpFig8, api.ExpTable3:
@@ -114,6 +142,12 @@ func runCount(experiment string, profiles int) int {
 		return 6 * profiles
 	case api.ExpCell, api.ExpAttr, api.ExpReuse, api.ExpCycles:
 		return profiles
+	case api.ExpDiff:
+		repeats := 1
+		if req.Diff != nil && req.Diff.Repeats > 1 {
+			repeats = req.Diff.Repeats
+		}
+		return 2 * repeats * profiles
 	}
 	return 0
 }
@@ -165,56 +199,7 @@ func validateWorkloads(req api.RunRequest) error {
 
 // configMod translates wire overrides into a Table 2 config edit.
 func configMod(o *api.ConfigOverrides) func(*pipeline.Config) {
-	if o == nil {
-		return nil
-	}
-	ov := *o
-	return func(c *pipeline.Config) {
-		switch ov.OptScope {
-		case "block":
-			c.OptScope = opt.ScopeIntraBlock
-		case "inter":
-			c.OptScope = opt.ScopeInterBlock
-		case "frame":
-			c.OptScope = opt.ScopeFrame
-		}
-		for _, d := range ov.DisableOpts {
-			switch d {
-			case "asst":
-				c.OptOptions.Assert = false
-			case "cp":
-				c.OptOptions.CP = false
-			case "cse":
-				c.OptOptions.CSE = false
-			case "nop":
-				c.OptOptions.NOP = false
-			case "ra":
-				c.OptOptions.RA = false
-			case "sf":
-				c.OptOptions.SF = false
-			case "spec":
-				c.OptOptions.Speculative = false
-			}
-		}
-		if ov.Width > 0 {
-			c.Width = ov.Width
-		}
-		if ov.WindowSize > 0 {
-			c.WindowSize = ov.WindowSize
-		}
-		if ov.FrameCacheUOps > 0 {
-			c.FrameCacheUOps = ov.FrameCacheUOps
-		}
-		if ov.MaxFrameUOps > 0 {
-			c.FrameCfg.MaxUOps = ov.MaxFrameUOps
-		}
-		if ov.OptCyclesPerUOp > 0 {
-			c.OptCyclesPerUOp = ov.OptCyclesPerUOp
-		}
-		if ov.OptPipeDepth > 0 {
-			c.OptPipeDepth = ov.OptPipeDepth
-		}
-	}
+	return o.Mod()
 }
 
 // workloadInfo is the /v1/workloads row.

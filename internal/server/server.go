@@ -280,6 +280,10 @@ type Server struct {
 	// cmet aggregates finished cycles-experiment jobs for the
 	// replayd_fetch_cycles_* / replayd_cycleprof_* metric families.
 	cmet *cycleMetrics
+
+	// dmet aggregates finished diff-experiment jobs for the
+	// replayd_diff_* metric families.
+	dmet diffMetrics
 }
 
 // New starts a server core: the worker pool is live on return.
@@ -425,6 +429,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
@@ -432,6 +437,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/reuse", s.handleReuse)
+	s.mux.HandleFunc("GET /debug/diff", s.handleDiffDebug)
 	s.mux.HandleFunc("GET /debug/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
@@ -658,10 +664,15 @@ func (s *Server) execute(j *job) {
 	ctx := telemetry.NewContext(j.ctx, tel)
 	ctx, espan := tracing.Start(ctx, "job.exec")
 	// Jobs naming a spooled external trace run through the xtrace
-	// backend; everything else uses the configured Runner (tests
+	// backends (diff comparisons involving a trace get the pair
+	// backend); everything else uses the configured Runner (tests
 	// substitute it without affecting the upload front end).
 	runner := s.cfg.Runner
-	if j.req.XTrace != "" {
+	switch {
+	case j.req.Experiment == api.ExpDiff && j.req.Diff != nil &&
+		(j.req.XTrace != "" || j.req.Diff.XTrace != ""):
+		runner = s.runDiffX
+	case j.req.XTrace != "":
 		runner = s.runXTrace
 	}
 	res, err := runner(ctx, j.req, j.appendEvent)
@@ -706,6 +717,9 @@ func (s *Server) settle(j *job, res *api.RunResponse, err error) {
 	}
 	if err == nil && res != nil && res.Cycles != nil {
 		s.cmet.fold(res.Cycles)
+	}
+	if err == nil && res != nil && res.Diff != nil {
+		s.dmet.fold(res.Diff)
 	}
 	// Close out the job's spans (idempotent: the queue-wait span already
 	// ended if a worker picked the job up). An errored or canceled job

@@ -10,6 +10,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 	"repro/internal/xtrace"
 )
 
@@ -182,54 +183,69 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// reqTraceIDs lists every spooled-trace ID a request names: the main
+// xtrace field plus a diff variant's trace. IDs repeat if both sides
+// name the same trace; the pin refcount balances either way.
+func reqTraceIDs(req api.RunRequest) []string {
+	var ids []string
+	if req.XTrace != "" {
+		ids = append(ids, req.XTrace)
+	}
+	if req.Diff != nil && req.Diff.XTrace != "" {
+		ids = append(ids, req.Diff.XTrace)
+	}
+	return ids
+}
+
 // checkXTrace validates an xtrace-carrying submission against the spool
 // at submit time, so a bad trace ID fails with 404 instead of a failed
-// job. A present trace is pinned against eviction — a queued job must
-// still find it when a worker picks the job up, however many uploads
-// churn the spool in between. Every successful check must be balanced
-// by one unpinXTrace (on coalesce, rejection, or job settlement).
+// job. Each present trace is pinned against eviction — a queued job
+// must still find it when a worker picks the job up, however many
+// uploads churn the spool in between. Every successful check must be
+// balanced by one unpinXTrace (on coalesce, rejection, or job
+// settlement).
 func (s *Server) checkXTrace(req api.RunRequest) error {
-	if req.XTrace == "" {
+	ids := reqTraceIDs(req)
+	if len(ids) == 0 {
 		return nil
 	}
 	if s.spool == nil {
 		return &errSubmit{status: http.StatusServiceUnavailable,
 			msg: "trace spool disabled (start replayd with -spool-dir)"}
 	}
-	if !s.spool.Pin(req.XTrace) {
-		return &errSubmit{status: http.StatusNotFound,
-			msg: fmt.Sprintf("no spooled trace %q (upload it to /v1/traces first)", req.XTrace)}
+	for i, id := range ids {
+		if !s.spool.Pin(id) {
+			for _, held := range ids[:i] {
+				s.spool.Unpin(held)
+			}
+			return &errSubmit{status: http.StatusNotFound,
+				msg: fmt.Sprintf("no spooled trace %q (upload it to /v1/traces first)", id)}
+		}
 	}
 	return nil
 }
 
-// unpinXTrace releases the eviction hold checkXTrace took for req.
+// unpinXTrace releases the eviction holds checkXTrace took for req.
 func (s *Server) unpinXTrace(req api.RunRequest) {
-	if req.XTrace != "" && s.spool != nil {
-		s.spool.Unpin(req.XTrace)
+	if s.spool == nil {
+		return
+	}
+	for _, id := range reqTraceIDs(req) {
+		s.spool.Unpin(id)
 	}
 }
 
 // runXTrace is the Runner for jobs that name a spooled trace: it loads
 // and adapts the trace, then simulates it with the same options
-// discipline as SimRunner. The run memo keys on the trace's content ID,
-// so repeats of an uploaded trace cost nothing.
+// discipline as SimRunner. Cell jobs replay the trace under the
+// requested mode (the run memo keys on the trace's content ID, so
+// repeats of an uploaded trace cost nothing); reuse jobs decompose the
+// trace — alongside any listed workloads — and feed it to the
+// representative-subset selector.
 func (s *Server) runXTrace(ctx context.Context, req api.RunRequest, progress func(api.Event)) (*api.RunResponse, error) {
-	t, err := s.spool.Get(req.XTrace)
+	ext, err := s.externalRun(req.XTrace)
 	if err != nil {
 		return nil, err
-	}
-	slots, err := t.Slots()
-	if err != nil {
-		return nil, err
-	}
-	mode, err := api.ParseMode(req.Mode)
-	if err != nil {
-		return nil, err
-	}
-	name := t.Header.Name
-	if name == "" {
-		name = "xtrace-" + req.XTrace[:12]
 	}
 	opts := sim.Options{
 		MaxInsts:   req.Insts,
@@ -237,15 +253,41 @@ func (s *Server) runXTrace(ctx context.Context, req api.RunRequest, progress fun
 		ConfigMod:  configMod(req.Config),
 		Telemetry:  telemetry.FromContext(ctx),
 	}
+
+	if req.Experiment == api.ExpReuse {
+		// The trace ranks alongside the explicitly listed workloads; an
+		// empty list decomposes the upload alone.
+		var profiles []workload.Profile
+		if len(req.Workloads) > 0 {
+			if profiles, err = profilesFor(req); err != nil {
+				return nil, err
+			}
+		}
+		total := len(profiles) + 1
+		var done atomic.Int64
+		opts.Notify = func(r sim.Result) {
+			progress(api.Event{
+				Msg:   fmt.Sprintf("%s/%s done", r.Workload, r.Mode),
+				Done:  int(done.Add(1)),
+				Total: total,
+			})
+		}
+		rep, err := sim.ReuseWithExternal(ctx, profiles, []sim.ExternalRun{*ext}, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.xmet.runs.Add(1)
+		return &api.RunResponse{Experiment: api.ExpReuse, Reuse: rep}, nil
+	}
+
+	mode, err := api.ParseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
 	opts.Notify = func(r sim.Result) {
 		progress(api.Event{Msg: fmt.Sprintf("%s/%s done", r.Workload, r.Mode), Done: 1, Total: 1})
 	}
-	res, err := sim.RunExternal(ctx, sim.ExternalRun{
-		Name:        name,
-		Fingerprint: req.XTrace,
-		Slots:       slots,
-		Insts:       int(t.Header.Insts),
-	}, mode, opts)
+	res, err := sim.RunExternal(ctx, *ext, mode, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -70,7 +70,8 @@ func runExternal(ctx context.Context, ext ExternalRun, mode pipeline.Mode, o Opt
 		o.ConfigMod(&cfg)
 	}
 
-	useMemo := ext.Fingerprint != "" && !o.DisableCache && !o.Telemetry.RequiresExecution()
+	useMemo := ext.Fingerprint != "" && !o.DisableCache && !o.Telemetry.RequiresExecution() &&
+		o.Reuse == nil && o.CycleProf == nil && o.Diff == nil
 	var key memoKey
 	if useMemo {
 		key = memoKey{profile: "xtrace:" + ext.Fingerprint, mode: mode,

@@ -38,32 +38,50 @@ type ReuseReport struct {
 // in profile order and the subset in greedy rank order, both
 // deterministic.
 func Reuse(ctx context.Context, profiles []workload.Profile, o Options) (*ReuseReport, error) {
-	cols := make([]*reuse.Collector, len(profiles))
-	results := make([]Result, len(profiles))
-	errs := make([]error, len(profiles))
-	jobs := make([]runJob, len(profiles))
-	for i, p := range profiles {
+	return ReuseWithExternal(ctx, profiles, nil, o)
+}
+
+// ReuseWithExternal is Reuse extended with adapted external traces:
+// uploaded traces decompose under the same detector and feed the same
+// representative-subset selection as the built-in profiles, so a
+// spooled trace can stand in for (or be ranked against) the synthetic
+// workload set. External rows follow the profile rows, in request
+// order; the subset selector sees them all.
+func ReuseWithExternal(ctx context.Context, profiles []workload.Profile,
+	exts []ExternalRun, o Options) (*ReuseReport, error) {
+	n := len(profiles) + len(exts)
+	cols := make([]*reuse.Collector, n)
+	results := make([]Result, n)
+	errs := make([]error, n)
+	jobs := make([]runJob, n)
+	for i := range jobs {
 		cols[i] = reuse.NewCollector()
 		po := o
 		po.Reuse = cols[i]
-		jobs[i] = runJob{profile: p, mode: pipeline.ModeRePLayOpt, opts: po,
+		jobs[i] = runJob{mode: pipeline.ModeRePLayOpt, opts: po,
 			out: &results[i], err: &errs[i]}
+		if i < len(profiles) {
+			jobs[i].profile = profiles[i]
+		} else {
+			jobs[i].external = &exts[i-len(profiles)]
+		}
 	}
 	if err := runAll(ctx, jobs); err != nil {
 		return nil, err
 	}
-	rep := &ReuseReport{Rows: make([]ReuseRow, len(profiles))}
-	items := make([]reuse.SubsetItem, len(profiles))
-	for i, p := range profiles {
+	rep := &ReuseReport{Rows: make([]ReuseRow, n)}
+	items := make([]reuse.SubsetItem, n)
+	for i := range jobs {
+		name, class := results[i].Workload, results[i].Class
 		r := ReuseRow{
-			Workload: p.Name,
-			Class:    p.Class,
+			Workload: name,
+			Class:    class,
 			Insts:    results[i].Stats.X86Retired,
 			Report:   cols[i].Snapshot(),
 		}
 		rep.Rows[i] = r
 		items[i] = reuse.SubsetItem{
-			Name: p.Name,
+			Name: name,
 			Cost: float64(r.Insts),
 			Mass: reuse.Signature(&r.Report),
 		}

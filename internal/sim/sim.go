@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/cycleprof"
+	"repro/internal/diff"
 	"repro/internal/pipeline"
 	"repro/internal/reuse"
 	"repro/internal/telemetry"
@@ -145,6 +146,13 @@ type Options struct {
 	// profile totals equal the measured-window Stats.Cycles/Bins
 	// exactly (the conservation invariant).
 	CycleProf *cycleprof.Collector
+	// Diff, when set, attaches the ablation-diff probe to every engine
+	// after warmup (see internal/diff): retired work, per-pass optimizer
+	// removals, and charged fetch cycles are partitioned over the
+	// innermost active loop, so two probed runs can be joined into a
+	// conservation-exact delta report. Like Reuse and CycleProf it
+	// forces execution and the serial per-trace path.
+	Diff *diff.Collector
 }
 
 // Result is the aggregated outcome of one workload under one mode.
@@ -200,7 +208,8 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 		o.ConfigMod(&cfg)
 	}
 
-	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution() && o.Reuse == nil && o.CycleProf == nil
+	useMemo := !o.DisableCache && !o.Telemetry.RequiresExecution() &&
+		o.Reuse == nil && o.CycleProf == nil && o.Diff == nil
 	var key memoKey
 	if useMemo {
 		key = memoKey{profile: profileFingerprint(&p), mode: mode,
@@ -220,7 +229,8 @@ func runWorkload(ctx context.Context, p workload.Profile, mode pipeline.Mode, o 
 	// is bit-identical to the serial loop. Telemetry and span-traced
 	// runs keep the serial path: both attach per-engine observers whose
 	// event interleaving is part of their output.
-	if p.Traces > 1 && o.Telemetry == nil && o.Reuse == nil && o.CycleProf == nil && span == nil {
+	if p.Traces > 1 && o.Telemetry == nil && o.Reuse == nil && o.CycleProf == nil &&
+		o.Diff == nil && span == nil {
 		if err := runTracesParallel(ctx, &res, p, mode, cfg, o, budget, warmFrac); err != nil {
 			return res, err
 		}
@@ -394,30 +404,37 @@ func runStreamStats(ctx context.Context, name string, stream slotSource, cfg pip
 		run := o.Telemetry.NewRun(fmt.Sprintf("%s/%s/t%d", name, mode, t))
 		eng.SetTelemetry(o.Telemetry, run)
 	}
-	// The reuse and cycle-profiler probes attach at the same boundary,
-	// so their attribution covers exactly the measured window and their
-	// totals equal the window's Stats counters (the conservation
-	// invariant). The cycle profiler consumes the retired stream too
-	// (its loop join rides on the same detector); when both are set the
-	// retirement feed tees to each.
-	var rprobe pipeline.ReuseProbe
+	// The reuse, cycle-profiler, and diff probes attach at the same
+	// boundary, so their attribution covers exactly the measured window
+	// and their totals equal the window's Stats counters (the
+	// conservation invariant). The cycle profiler and the diff probe
+	// consume the retired stream too (their loop views ride on the same
+	// detector); when several are set, the retirement and cycle-charge
+	// feeds tee to each.
+	var rprobes []pipeline.ReuseProbe
+	var cprobes []pipeline.CycleProbe
 	if o.Reuse != nil {
 		probe := o.Reuse.Attach(t)
 		defer probe.Close()
-		rprobe = probe
+		rprobes = append(rprobes, probe)
 	}
 	if o.CycleProf != nil {
 		probe := o.CycleProf.Attach(t)
 		defer probe.Close()
-		eng.SetCycleProf(probe)
-		if rprobe != nil {
-			rprobe = reuseTee{a: rprobe, b: probe}
-		} else {
-			rprobe = probe
-		}
+		rprobes = append(rprobes, probe)
+		cprobes = append(cprobes, probe)
 	}
-	if rprobe != nil {
-		eng.SetReuse(rprobe)
+	if o.Diff != nil {
+		probe := o.Diff.Attach(t)
+		defer probe.Close()
+		rprobes = append(rprobes, probe)
+		cprobes = append(cprobes, probe)
+	}
+	if p := teeReuse(rprobes); p != nil {
+		eng.SetReuse(p)
+	}
+	if p := teeCycle(cprobes); p != nil {
+		eng.SetCycleProf(p)
 	}
 	eng.ResetStats()
 	mctx, mspan := tracing.Start(ctx, "sim.measure")
@@ -445,33 +462,109 @@ func runStreamStats(ctx context.Context, name string, stream slotSource, cfg pip
 	return eng.Stats(), nil
 }
 
-// reuseTee fans the retirement feed out to two probes (a reuse
-// collector and a cycle profiler attached to the same engine).
-type reuseTee struct{ a, b pipeline.ReuseProbe }
+// teeReuse fans the retirement feed out to every attached probe. A
+// single probe is returned as-is (preserving its optional
+// ReusePassProbe extension through the engine's cached assertion); a
+// real tee re-exports the extension only when some child implements
+// it, so reuse-only runs never pay the optimizer's per-pass
+// measurement wrapper.
+func teeReuse(probes []pipeline.ReuseProbe) pipeline.ReuseProbe {
+	switch len(probes) {
+	case 0:
+		return nil
+	case 1:
+		return probes[0]
+	}
+	t := &reuseTee{probes: probes}
+	for _, p := range probes {
+		if pp, ok := p.(pipeline.ReusePassProbe); ok {
+			t.pass = append(t.pass, pp)
+		}
+	}
+	if len(t.pass) > 0 {
+		return reusePassTee{t}
+	}
+	return t
+}
 
-func (t reuseTee) ReuseSlot(s pipeline.Slot, fromFrame bool, uopsExecuted int) {
-	t.a.ReuseSlot(s, fromFrame, uopsExecuted)
-	t.b.ReuseSlot(s, fromFrame, uopsExecuted)
+// reuseTee fans the retirement feed out to several probes attached to
+// the same engine.
+type reuseTee struct {
+	probes []pipeline.ReuseProbe
+	pass   []pipeline.ReusePassProbe
 }
-func (t reuseTee) ReuseFrameBuilt() { t.a.ReuseFrameBuilt(); t.b.ReuseFrameBuilt() }
-func (t reuseTee) ReuseFrameHit()   { t.a.ReuseFrameHit(); t.b.ReuseFrameHit() }
-func (t reuseTee) ReuseFrameRetired(uops int) {
-	t.a.ReuseFrameRetired(uops)
-	t.b.ReuseFrameRetired(uops)
-}
-func (t reuseTee) ReuseOptRemoved(removed int) {
-	t.a.ReuseOptRemoved(removed)
-	t.b.ReuseOptRemoved(removed)
-}
-func (t reuseTee) ReuseEvict() { t.a.ReuseEvict(); t.b.ReuseEvict() }
 
-// runJob is one (workload, mode, options) simulation request.
+func (t *reuseTee) ReuseSlot(s pipeline.Slot, fromFrame bool, uopsExecuted int) {
+	for _, p := range t.probes {
+		p.ReuseSlot(s, fromFrame, uopsExecuted)
+	}
+}
+func (t *reuseTee) ReuseFrameBuilt() {
+	for _, p := range t.probes {
+		p.ReuseFrameBuilt()
+	}
+}
+func (t *reuseTee) ReuseFrameHit() {
+	for _, p := range t.probes {
+		p.ReuseFrameHit()
+	}
+}
+func (t *reuseTee) ReuseFrameRetired(uops int) {
+	for _, p := range t.probes {
+		p.ReuseFrameRetired(uops)
+	}
+}
+func (t *reuseTee) ReuseOptRemoved(removed int) {
+	for _, p := range t.probes {
+		p.ReuseOptRemoved(removed)
+	}
+}
+func (t *reuseTee) ReuseEvict() {
+	for _, p := range t.probes {
+		p.ReuseEvict()
+	}
+}
+
+// reusePassTee is a reuseTee whose method set additionally exposes the
+// per-pass feed, used only when some child consumes it.
+type reusePassTee struct{ *reuseTee }
+
+func (t reusePassTee) ReusePass(pass string, killed, rewritten int) {
+	for _, p := range t.pass {
+		p.ReusePass(pass, killed, rewritten)
+	}
+}
+
+// teeCycle fans the cycle-charge feed out to every attached probe.
+func teeCycle(probes []pipeline.CycleProbe) pipeline.CycleProbe {
+	switch len(probes) {
+	case 0:
+		return nil
+	case 1:
+		return probes[0]
+	}
+	return cycleTee{probes: probes}
+}
+
+// cycleTee fans cycle charges out to several probes.
+type cycleTee struct{ probes []pipeline.CycleProbe }
+
+func (t cycleTee) CycleCharge(pc uint32, bin pipeline.Bin, n uint64) {
+	for _, p := range t.probes {
+		p.CycleCharge(pc, bin, n)
+	}
+}
+
+// runJob is one (workload, mode, options) simulation request. When
+// external is set the job replays that adapted trace instead of
+// interpreting the workload profile.
 type runJob struct {
-	profile workload.Profile
-	mode    pipeline.Mode
-	opts    Options
-	out     *Result
-	err     *error
+	profile  workload.Profile
+	external *ExternalRun
+	mode     pipeline.Mode
+	opts     Options
+	out      *Result
+	err      *error
 }
 
 // runAll executes jobs in parallel under the process-global CPU
@@ -505,7 +598,13 @@ func runAll(ctx context.Context, jobs []runJob) error {
 		go func(j *runJob) {
 			defer wg.Done()
 			defer sem.Release()
-			r, err := RunWorkload(ctx, j.profile, j.mode, j.opts)
+			var r Result
+			var err error
+			if j.external != nil {
+				r, err = RunExternal(ctx, *j.external, j.mode, j.opts)
+			} else {
+				r, err = RunWorkload(ctx, j.profile, j.mode, j.opts)
+			}
 			*j.out = r
 			*j.err = err
 			if err != nil {
